@@ -1,0 +1,278 @@
+"""Ablations of the design choices Section IV-D calls out.
+
+1. **Shadow blocks**: wire bytes of a Case V1 PRE-PREPARE with and
+   without payload sharing — the saving is one full batch payload.
+2. **Happy vs unhappy path**: view-change latency with and without the
+   pre-prepare phase (the cost of losing the happy path).
+3. **Batch cap sweep**: saturation throughput versus the batching cap —
+   the natural-batching knob behind the Fig. 10 curves.
+4. **QC instantiation**: threshold signatures vs a bundle of
+   conventional signatures (the paper's Section I observation that the
+   multisig instantiation trades bandwidth for cheaper verification).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.block import Block, Operation
+from repro.consensus.messages import Justify, PrePrepareMsg, Proposal
+from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
+from repro.crypto.hashing import digest_of
+from repro.harness.report import format_table, ktx, ms
+from repro.harness.scenarios import run_load_point, view_change_latency
+
+
+def _v1_proposals(payload_bytes: int):
+    parent = BlockSummary(
+        digest=digest_of(["parent"]), view=1, height=4, parent_view=1
+    )
+    qc = QuorumCertificate(phase=Phase.PREPARE, view=1, block=parent, signature=None)
+    ops = (Operation(client_id=1, sequence=0, payload=b"x" * payload_bytes),)
+    normal = Block(
+        parent_link=parent.digest,
+        parent_view=parent.view,
+        view=2,
+        height=5,
+        operations=ops,
+        justify_digest=qc.digest,
+    )
+    virtual = Block(
+        parent_link=None,
+        parent_view=qc.view,
+        view=2,
+        height=6,
+        operations=ops,
+        justify_digest=qc.digest,
+    )
+    return Proposal(normal, Justify(qc)), Proposal(virtual, Justify(qc))
+
+
+class TestShadowBlockAblation:
+    @pytest.mark.parametrize("payload_bytes", [1_000, 60_000, 600_000])
+    def test_shadow_saves_one_payload(self, payload_bytes, once):
+        def run():
+            normal, virtual = _v1_proposals(payload_bytes)
+            shadow = PrePrepareMsg(view=2, proposals=(normal, virtual), shadow=True)
+            plain = PrePrepareMsg(view=2, proposals=(normal, virtual), shadow=False)
+            return shadow.wire_size, plain.wire_size
+
+        shadow_size, plain_size = once(run)
+        saving = plain_size - shadow_size
+        assert saving >= payload_bytes
+        print(
+            f"\nshadow ablation: payload={payload_bytes}B  "
+            f"plain={plain_size}B shadow={shadow_size}B saved={saving}B"
+        )
+
+    def test_saving_fraction_near_half_for_large_batches(self, once):
+        def run():
+            normal, virtual = _v1_proposals(600_000)
+            shadow = PrePrepareMsg(view=2, proposals=(normal, virtual), shadow=True)
+            plain = PrePrepareMsg(view=2, proposals=(normal, virtual), shadow=False)
+            return shadow.wire_size / plain.wire_size
+
+        assert once(run) < 0.55
+
+
+def test_happy_path_ablation(once, benchmark):
+    """What the happy path buys: one full phase of view-change latency."""
+
+    def run():
+        happy = view_change_latency("marlin", 1, force_unhappy=False).latency
+        unhappy = view_change_latency("marlin", 1, force_unhappy=True).latency
+        return happy, unhappy
+
+    happy, unhappy = once(run)
+    print(
+        f"\nhappy-path ablation (f=1): happy={ms(happy)} ms "
+        f"unhappy={ms(unhappy)} ms  penalty={ms(unhappy - happy)} ms"
+    )
+    benchmark.extra_info["happy_ms"] = happy * 1000
+    benchmark.extra_info["unhappy_ms"] = unhappy * 1000
+    assert unhappy > happy * 1.4
+
+
+def test_batch_cap_ablation(once, benchmark):
+    """Saturation throughput vs the natural-batching cap."""
+    import repro.harness.scenarios as scenarios
+
+    caps = [2000, 10000, 30000]
+
+    def run():
+        results = {}
+        original = scenarios.DEFAULT_MAX_BATCH
+        try:
+            for cap in caps:
+                scenarios.DEFAULT_MAX_BATCH = cap
+                point = run_load_point("marlin", 1, 65536, sim_time=20.0, warmup=7.0)
+                results[cap] = point
+        finally:
+            scenarios.DEFAULT_MAX_BATCH = original
+        return results
+
+    results = once(run)
+    rows = [
+        [str(cap), ktx(point.throughput_tps), ms(point.mean_latency)]
+        for cap, point in results.items()
+    ]
+    print(format_table("batch-cap ablation (marlin, f=1, 65536 clients)", ["cap", "ktx/s", "lat ms"], rows))
+    benchmark.extra_info["tput_by_cap"] = {c: p.throughput_tps for c, p in results.items()}
+    # Bigger batches amortise per-block costs: throughput must rise.
+    assert results[30000].throughput_tps > results[2000].throughput_tps
+
+
+def test_open_vs_closed_loop_methodology(once, benchmark):
+    """Methodology ablation: the Fig. 10 curves use closed-loop clients;
+    an open-loop Poisson source at the measured closed-loop rate must
+    reproduce the same latency (the two methodologies agree below
+    saturation), while offering beyond saturation exposes the queueing
+    collapse the closed loop can never show.
+    """
+    from repro.common.config import ClusterConfig, ExperimentConfig
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.workload import ClosedLoopClients, OpenLoopClients
+
+    def experiment():
+        return ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=30000, base_timeout=120.0), seed=3
+        )
+
+    def run():
+        cluster = DESCluster(experiment(), protocol="marlin", crypto_mode="null")
+        closed = ClosedLoopClients(cluster, num_clients=8192, token_weight=32, warmup=6.0)
+        cluster.start()
+        cluster.sim.schedule(0.01, closed.start)
+        cluster.run(until=20.0)
+        closed_summary = closed.summary()
+        matched_rate = closed_summary["throughput_tps"]
+
+        cluster = DESCluster(experiment(), protocol="marlin", crypto_mode="null")
+        open_pool = OpenLoopClients(cluster, rate_tps=matched_rate, token_weight=32, warmup=6.0)
+        cluster.start()
+        cluster.sim.schedule(0.01, open_pool.start)
+        cluster.run(until=20.0)
+        open_summary = open_pool.summary()
+
+        cluster = DESCluster(experiment(), protocol="marlin", crypto_mode="null")
+        overload = OpenLoopClients(cluster, rate_tps=matched_rate * 5, token_weight=64, warmup=6.0)
+        cluster.start()
+        cluster.sim.schedule(0.01, overload.start)
+        cluster.run(until=20.0)
+        return closed_summary, open_summary, overload.summary(), overload.backlog_ops
+
+    closed_summary, open_summary, overload_summary, backlog = once(run)
+    rows = [
+        ["closed loop (8192 clients)", ktx(closed_summary["throughput_tps"]), ms(closed_summary["mean_latency"])],
+        ["open loop (matched rate)", ktx(open_summary["throughput_tps"]), ms(open_summary["mean_latency"])],
+        ["open loop (5x overload)", ktx(overload_summary["throughput_tps"]), ms(overload_summary["mean_latency"])],
+    ]
+    print(format_table("open vs closed loop (marlin, f=1)", ["workload", "ktx/s", "lat ms"], rows))
+    print(f"overload backlog at end: {backlog} ops (queueing collapse visible)")
+    benchmark.extra_info["closed"] = closed_summary
+    benchmark.extra_info["open"] = open_summary
+    # Below saturation the two methodologies agree.
+    assert open_summary["mean_latency"] == pytest.approx(
+        closed_summary["mean_latency"], rel=0.35
+    )
+    # Overload: throughput saturates while the backlog diverges.
+    assert backlog > 10_000
+
+
+def test_slow_leader_attack(once, benchmark):
+    """A *slow* (not crashed) leader is the classic HotStuff-family
+    performance attack (paper §II cites [29, 41]): it delays every
+    outbound message just under the timeout, throttling the whole
+    cluster while never triggering a view change.  Both protocols
+    suffer; Marlin's shorter pipeline loses proportionally less.
+    """
+    from repro.common.config import ClusterConfig, ExperimentConfig
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.failures import Delayer, make_byzantine
+    from repro.harness.workload import ClosedLoopClients
+
+    def run_one(protocol: str, slow: bool) -> float:
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=4000, base_timeout=2.0), seed=9
+        )
+        cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=2048, token_weight=8, warmup=5.0)
+        if slow:
+            make_byzantine(cluster, 0, Delayer(cluster, 0.15))
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.run(until=20.0)
+        cluster.assert_safety()
+        return pool.throughput.throughput(duration=15.0)
+
+    def run():
+        return {
+            (protocol, slow): run_one(protocol, slow)
+            for protocol in ("marlin", "hotstuff")
+            for slow in (False, True)
+        }
+
+    results = once(run)
+    rows = [
+        [
+            protocol,
+            ktx(results[(protocol, False)]),
+            ktx(results[(protocol, True)]),
+            f"{(1 - results[(protocol, True)] / results[(protocol, False)]) * 100:.0f}%",
+        ]
+        for protocol in ("marlin", "hotstuff")
+    ]
+    print(
+        format_table(
+            "slow-leader attack (150 ms outbound delay, below timeout)",
+            ["protocol", "honest ktx/s", "attacked ktx/s", "loss"],
+            rows,
+        )
+    )
+    benchmark.extra_info["results"] = {str(k): v for k, v in results.items()}
+    for protocol in ("marlin", "hotstuff"):
+        assert results[(protocol, True)] < results[(protocol, False)]
+        assert results[(protocol, True)] > 0  # degraded, not dead
+    # Fewer phases -> fewer delayed hops per block -> Marlin retains more.
+    marlin_retained = results[("marlin", True)] / results[("marlin", False)]
+    hotstuff_retained = results[("hotstuff", True)] / results[("hotstuff", False)]
+    assert marlin_retained > hotstuff_retained * 0.95
+
+
+def test_qc_scheme_ablation(once, benchmark):
+    """Threshold vs multisig QCs under identical load.
+
+    With the calibrated cost model the threshold scheme pays a pairing
+    per QC verification while the multisig scheme pays ``quorum``
+    conventional verifications across 16 cores — at f=1 both are cheap,
+    so throughput should be within a few percent (the paper's point that
+    the instantiation choice matters mainly at scale).
+    """
+    from repro.common.config import ClusterConfig, ExperimentConfig
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.workload import ClosedLoopClients
+
+    def run_one(crypto_mode: str) -> float:
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=30000, base_timeout=120.0),
+            seed=6,
+        )
+        cluster = DESCluster(experiment, protocol="marlin", crypto_mode=crypto_mode)
+        pool = ClosedLoopClients(cluster, num_clients=16384, token_weight=64, warmup=6.0)
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.run(until=18.0)
+        cluster.assert_safety()
+        return pool.throughput.throughput(duration=12.0)
+
+    def run():
+        return {mode: run_one(mode) for mode in ("threshold", "multisig")}
+
+    results = once(run)
+    print(
+        f"\nQC scheme ablation (marlin, f=1): threshold={ktx(results['threshold'])} "
+        f"ktx/s vs multisig={ktx(results['multisig'])} ktx/s"
+    )
+    benchmark.extra_info["results"] = results
+    for mode, tput in results.items():
+        assert tput > 5_000, f"{mode} collapsed"

@@ -1,0 +1,62 @@
+"""Fig. 10g: peak throughput for f = 1..10, Marlin vs HotStuff.
+
+Prints measured peaks next to the paper's reported values.  Shape
+assertions: Marlin beats HotStuff at every f (the paper's headline
+"11.56%-34.4% higher"), and throughput declines with f by a comparable
+overall factor (the paper: 101.27 -> 23.15 ktx/s, a ~4.4x drop).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import PAPER_FIG10G_HOTSTUFF, PAPER_FIG10G_MARLIN
+from repro.harness.report import format_table, ktx
+from repro.harness.scenarios import peak_throughput
+
+F_VALUES = list(range(1, 11))
+
+
+def test_fig10g_peak_throughput(once, benchmark):
+    def run():
+        peaks: dict[str, dict[int, float]] = {"marlin": {}, "hotstuff": {}}
+        for f in F_VALUES:
+            for protocol in peaks:
+                peak, _ = peak_throughput(protocol, f)
+                peaks[protocol][f] = peak
+        return peaks
+
+    peaks = once(run)
+
+    rows = []
+    for f in F_VALUES:
+        marlin = peaks["marlin"][f]
+        hotstuff = peaks["hotstuff"][f]
+        gap = (marlin / hotstuff - 1) * 100 if hotstuff else float("nan")
+        paper_gap = (PAPER_FIG10G_MARLIN[f] / PAPER_FIG10G_HOTSTUFF[f] - 1) * 100
+        rows.append(
+            [
+                str(f),
+                ktx(marlin),
+                str(PAPER_FIG10G_MARLIN[f]),
+                ktx(hotstuff),
+                str(PAPER_FIG10G_HOTSTUFF[f]),
+                f"{gap:+.1f}%",
+                f"{paper_gap:+.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            "fig10g: peak throughput (ktx/s), measured vs paper",
+            ["f", "marlin", "paper", "hotstuff", "paper", "gap", "paper gap"],
+            rows,
+        )
+    )
+    benchmark.extra_info["peaks"] = {p: dict(v) for p, v in peaks.items()}
+
+    for f in F_VALUES:
+        assert peaks["marlin"][f] > peaks["hotstuff"][f], f"Marlin must win at f={f}"
+    # Overall decline factor comparable to the paper's ~4.4x.
+    marlin_drop = peaks["marlin"][1] / peaks["marlin"][10]
+    assert 2.0 < marlin_drop < 10.0
+    # Monotone-ish decline: each size at most marginally above the prior.
+    for f in range(2, 11):
+        assert peaks["marlin"][f] <= peaks["marlin"][f - 1] * 1.15

@@ -1,0 +1,69 @@
+"""Fig. 10i: view change latency, f in {1, 10}.
+
+Crash the leader and time from the first correct replica entering the new
+view to the first post-crash commit, for Marlin's happy path, Marlin's
+forced unhappy path, and HotStuff.  The paper's findings, asserted here:
+
+* Marlin happy path is 30-40%+ faster than HotStuff (two-phase VC);
+* Marlin's unhappy path is "similar to HotStuff" (both three-phase);
+* latency grows with f for every variant.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import PAPER_FIG10I_MS
+from repro.harness.report import format_table, ms
+from repro.harness.scenarios import view_change_latency
+
+F_VALUES = [1, 10]
+VARIANTS = [
+    ("marlin-happy", "marlin", False),
+    ("marlin-unhappy", "marlin", True),
+    ("hotstuff", "hotstuff", False),
+]
+
+
+def test_fig10i_view_change_latency(once, benchmark):
+    def run():
+        results = {}
+        for f in F_VALUES:
+            for label, protocol, unhappy in VARIANTS:
+                result = view_change_latency(protocol, f, force_unhappy=unhappy)
+                results[(label, f)] = result.latency
+        return results
+
+    results = once(run)
+
+    rows = []
+    for f in F_VALUES:
+        for label, _, _ in VARIANTS:
+            rows.append(
+                [
+                    str(f),
+                    label,
+                    ms(results[(label, f)]),
+                    str(PAPER_FIG10I_MS[(label, f)]),
+                ]
+            )
+    print(
+        format_table(
+            "fig10i: view change latency (ms), measured vs paper",
+            ["f", "variant", "measured", "paper"],
+            rows,
+        )
+    )
+    benchmark.extra_info["latencies_ms"] = {
+        f"{label}-f{f}": results[(label, f)] * 1000 for (label, f) in results
+    }
+
+    for f in F_VALUES:
+        happy = results[("marlin-happy", f)]
+        unhappy = results[("marlin-unhappy", f)]
+        hotstuff = results[("hotstuff", f)]
+        # Happy path clearly faster than HotStuff (paper: ~30-40% lower).
+        assert happy < hotstuff * 0.8, f"happy path not faster at f={f}"
+        # Unhappy path comparable to HotStuff (same phase count).
+        assert 0.7 < unhappy / hotstuff < 1.3, f"unhappy path diverges at f={f}"
+    # Latency grows with scale.
+    for label, _, _ in VARIANTS:
+        assert results[(label, 10)] > results[(label, 1)]

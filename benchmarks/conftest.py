@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the DES is deterministic, so repetition adds time, not
+information.  The interesting output is the printed paper-vs-measured
+table plus ``extra_info`` on each benchmark record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the package; make the paper's reference
+    # numbers importable everywhere.
+    pass
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+# ---------------------------------------------------------------------------
+# Paper-reported numbers (DSN 2022, Section VI / Fig. 10)
+
+PAPER_FIG10G_MARLIN = {
+    1: 101.27, 2: 89.82, 3: 78.49, 4: 59.91, 5: 44.36,
+    6: 36.83, 7: 33.82, 8: 28.83, 9: 26.25, 10: 23.15,
+}
+PAPER_FIG10G_HOTSTUFF = {
+    1: 79.58, 2: 66.83, 3: 62.61, 4: 45.6, 5: 39.16,
+    6: 30.29, 7: 28.78, 8: 25.35, 9: 23.84, 10: 20.3,
+}
+PAPER_FIG10H_MARLIN = {1: 118.39, 2: 104.5, 5: 101.09}
+PAPER_FIG10H_HOTSTUFF = {1: 93.23, 2: 78.39, 5: 74.87}
+PAPER_FIG10I_MS = {
+    ("marlin-happy", 1): 123, ("marlin-happy", 10): 229,
+    ("marlin-unhappy", 1): 183, ("marlin-unhappy", 10): 386,
+    ("hotstuff", 1): 182, ("hotstuff", 10): 384,
+}
+PAPER_FIG10J_MARLIN = {0: 86.38, 1: 65.18, 3: 55.18}
+PAPER_FIG10J_HOTSTUFF = {0: 65.51, 1: 47.95, 3: 40.18}

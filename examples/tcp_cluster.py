@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Marlin over real TCP sockets on localhost.
+
+The same sans-io protocol core that drives the simulator runs here over
+genuine network connections: four replicas, each with its own TCP server,
+length-prefixed frames, the KV application, and on-disk persistence in a
+temporary directory.
+
+Run:  python examples/tcp_cluster.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+from repro.runtime.app import KVStateMachine
+from repro.runtime.cluster import LocalCluster
+
+
+async def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="marlin-tcp-") as workdir:
+        data_dirs = [f"{workdir}/node{i}" for i in range(4)]
+        cluster = LocalCluster(
+            f=1,
+            protocol="marlin",
+            transport="tcp",
+            batch_size=8,
+            data_dirs=data_dirs,
+        )
+        async with cluster:
+            ports = [cluster.network.port_of(i) for i in range(4)]
+            print(f"four replicas listening on TCP ports {ports}")
+
+            for i in range(12):
+                await cluster.submit(
+                    KVStateMachine.encode_set(f"key-{i}".encode(), f"value-{i}".encode())
+                )
+            await cluster.wait_for_height(2, timeout=20)
+
+            print(f"committed heights: {cluster.committed_heights()}")
+            node = cluster.nodes[1]
+            print(f"replica 1 sees key-3 = {node.app.get(b'key-3')!r}")
+            digests = cluster.state_digests()
+            print(f"state digests agree on a quorum: {len(set(digests[:3])) == 1}")
+            print(f"blocks persisted at replica 1: {len(node.blockstore)}")
+        print("cluster shut down cleanly; KV stores flushed to disk")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

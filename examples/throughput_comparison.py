@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Marlin vs HotStuff: a miniature of the paper's Fig. 10a.
+
+Sweeps a closed-loop client population on the simulated DSN'22 testbed
+(f = 1, 150-byte requests) and prints the two throughput-latency curves
+side by side, plus the latency decomposition that explains them: Marlin
+commits in 7 one-way hops end to end, HotStuff in 9.
+
+Run:  python examples/throughput_comparison.py        (~30 s)
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table, ktx, ms
+from repro.harness.scenarios import run_load_point
+
+SWEEP = [1024, 4096, 16384, 65536]
+
+
+def main() -> None:
+    print("Simulated testbed: 40 ms one-way latency, 200 Mbps links, 1 Gbps NICs")
+    print("Workload: closed-loop clients, 150-byte requests and replies\n")
+
+    rows = []
+    curves: dict[str, list] = {}
+    for protocol in ("marlin", "hotstuff"):
+        curves[protocol] = []
+        for clients in SWEEP:
+            point = run_load_point(protocol, 1, clients, sim_time=18.0, warmup=6.0)
+            curves[protocol].append(point)
+            rows.append(
+                [
+                    protocol,
+                    str(clients),
+                    ktx(point.throughput_tps),
+                    ms(point.mean_latency),
+                ]
+            )
+    print(format_table("throughput vs latency (f=1)", ["protocol", "clients", "ktx/s", "latency ms"], rows))
+
+    print("\nWhy Marlin wins — the phase count:")
+    print("  HotStuff : request + prepare + vote + precommit + vote + commit + vote + decide + reply = 9 hops")
+    print("  Marlin   : request + prepare + vote + commit + vote + decide + reply                   = 7 hops")
+    low_m = curves["marlin"][0].mean_latency
+    low_h = curves["hotstuff"][0].mean_latency
+    print(
+        f"\nmeasured low-load latency ratio: {low_m / low_h:.3f} "
+        f"(theory 7/9 = {7 / 9:.3f})"
+    )
+    for marlin_point, hotstuff_point in zip(curves["marlin"], curves["hotstuff"]):
+        assert marlin_point.mean_latency < hotstuff_point.mean_latency
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Anatomy of a Marlin view change (the paper's Fig. 2 / Section IV-B).
+
+Constructs the adversarial scenario that breaks naive two-phase BFT:
+
+1. view 1 commits b1, then proposes b2;
+2. ``prepareQC(b2)`` forms, but the COMMIT carrying it reaches only one
+   replica, which becomes *locked* on it;
+3. the old leader turns Byzantine — it withholds votes and lies about
+   its state in view changes — and the adversary delays the locked
+   replica's VIEW-CHANGE messages, so every new leader assembles an
+   *unsafe snapshot* (one that misses the highest QC).
+
+Then runs both protocols through the same schedule:
+
+* **two-phase HotStuff (insecure)** re-extends b1; the locked replica
+  refuses; the quorum is unreachable; repeated view changes commit
+  nothing — a liveness failure;
+* **Marlin** broadcasts its PRE-PREPARE with a *virtual block*; the
+  locked replica answers Case R2 (voting for the virtual block and
+  shipping its lockedQC); the leader validates the virtual block with
+  that QC and the cluster commits again — in one view change.
+
+Run:  python examples/view_change_anatomy.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from tests.test_insecure_liveness import (  # noqa: E402
+    BYZ,
+    LOCKED,
+    advance_one_view,
+    build_unsafe_snapshot_scenario,
+)
+from repro.consensus.marlin.replica import MarlinReplica  # noqa: E402
+from repro.consensus.twophase_insecure import TwoPhaseInsecureReplica  # noqa: E402
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 68)
+    print(text)
+    print("=" * 68)
+
+
+def describe(net, label: str) -> None:
+    alive = [r for r in net.replicas if r.id != BYZ]
+    print(f"  [{label}]")
+    for replica in alive:
+        print(
+            f"    r{replica.id}: committed height {replica.ledger.committed_height}, "
+            f"locked on h={replica.locked_qc.block.height}"
+            f"{' <- locked ABOVE the snapshot' if replica.id == LOCKED else ''}"
+        )
+
+
+def main() -> None:
+    banner("Scenario setup: hidden QC + lying Byzantine + delayed messages")
+    print(__doc__.split("Then runs")[0])
+
+    banner("1) Two-phase HotStuff WITHOUT the pre-prepare phase (insecure)")
+    net = build_unsafe_snapshot_scenario(TwoPhaseInsecureReplica)
+    describe(net, "before view changes")
+    for round_ in range(3):
+        advance_one_view(net)
+    describe(net, "after 3 view changes")
+    stalled = all(
+        r.ledger.committed_height == net.b1_height for r in net.replicas if r.id != BYZ
+    )
+    print(f"  => progress: NONE (stalled: {stalled})")
+    assert stalled
+
+    banner("2) Marlin under the IDENTICAL adversarial schedule")
+    net = build_unsafe_snapshot_scenario(MarlinReplica)
+    describe(net, "before the view change")
+    advance_one_view(net)
+    describe(net, "after ONE view change")
+    leader = net.replicas[1]
+    locked = net.replicas[LOCKED]
+    print(f"  leader ran Case V1 (normal + virtual shadow blocks): {leader.stats['case_v1'] == 1}")
+    print(f"  locked replica voted Case R2 and shipped its lockedQC : {locked.stats['votes_r2'] == 1}")
+    recovered = all(
+        r.ledger.committed_height >= net.b2_height for r in net.replicas if r.id != BYZ
+    )
+    print(f"  => progress: RECOVERED (the hidden b2 and the virtual block committed: {recovered})")
+    assert recovered
+
+    banner("Conclusion")
+    print(
+        "  The pre-prepare phase is what makes two-phase commit safe to\n"
+        "  pair with a linear view change: instead of the leader guessing\n"
+        "  the highest QC from its (possibly unsafe) snapshot, the replicas\n"
+        "  VOTE on it — and the virtual block means that extra phase still\n"
+        "  carries a usable proposal. (Paper Sections IV-B and IV-D.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a full Python reproduction of *Marlin: Two-Phase BFT with
+Linearity* (Sui, Duan, Zhang — DSN 2022).
+
+Quickstart::
+
+    from repro import ClusterConfig, ExperimentConfig, DESCluster, ClosedLoopClients
+
+    experiment = ExperimentConfig(cluster=ClusterConfig.for_f(1))
+    cluster = DESCluster(experiment, protocol="marlin")
+    clients = ClosedLoopClients(cluster, num_clients=64)
+    cluster.start()
+    cluster.sim.schedule(0.01, clients.start)
+    cluster.run(until=10.0)
+    print(clients.summary())
+
+Packages:
+
+* ``repro.consensus`` — Marlin, HotStuff, and the insecure strawman, all
+  sans-io; blocks, QCs, rank rules, view changes.
+* ``repro.crypto`` / ``repro.network`` / ``repro.storage`` — the
+  substrates (threshold signatures, simulated testbed network, LevelDB
+  stand-in).
+* ``repro.des`` + ``repro.harness`` — the discrete-event evaluation rig
+  that regenerates every figure and table of the paper.
+* ``repro.runtime`` — a real asyncio runtime for the same protocol cores.
+"""
+
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    MachineProfile,
+    NetworkProfile,
+)
+from repro.consensus.block import Block, Operation, genesis_block
+from repro.consensus.hotstuff.replica import HotStuffReplica
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
+from repro.harness.des_runtime import DESCluster
+from repro.harness.workload import ClosedLoopClients
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BlockSummary",
+    "ClosedLoopClients",
+    "ClusterConfig",
+    "DESCluster",
+    "ExperimentConfig",
+    "HotStuffReplica",
+    "MachineProfile",
+    "MarlinReplica",
+    "NetworkProfile",
+    "Operation",
+    "Phase",
+    "QuorumCertificate",
+    "genesis_block",
+    "__version__",
+]

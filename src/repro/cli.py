@@ -1,0 +1,277 @@
+"""Command-line interface: run paper experiments from a shell.
+
+Usage (installed, or ``python -m repro``):
+
+    python -m repro curve      --protocol marlin --f 1
+    python -m repro point      --protocol hotstuff --f 2 --clients 16384
+    python -m repro peak       --f 1
+    python -m repro viewchange --f 1 --unhappy
+    python -m repro rotate     --crashed 3
+    python -m repro table1     --f 2
+    python -m repro fuzz       --seed 7 --protocol chained-marlin
+
+Every command prints a small report; exit code 0 means the run completed
+and passed the safety audit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.report import format_table, ktx, ms
+
+
+def _cmd_point(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import run_load_point
+
+    result = run_load_point(
+        args.protocol, args.f, args.clients, sim_time=args.sim_time, warmup=args.warmup
+    )
+    print(f"{args.protocol} f={args.f}: {result.as_row()}")
+
+
+def _cmd_curve(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import (
+        default_client_sweep,
+        peak_at_latency_cap,
+        throughput_latency_curve,
+    )
+
+    curve = throughput_latency_curve(
+        args.protocol, args.f, default_client_sweep(args.f), sim_time=args.sim_time
+    )
+    rows = [
+        [str(p.clients), ktx(p.throughput_tps), ms(p.mean_latency), ms(p.p99_latency)]
+        for p in curve
+    ]
+    print(
+        format_table(
+            f"throughput vs latency ({args.protocol}, f={args.f})",
+            ["clients", "ktx/s", "lat ms", "p99 ms"],
+            rows,
+        )
+    )
+    print(f"\npeak @ latency cap: {ktx(peak_at_latency_cap(curve))} ktx/s")
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["protocol", "f", "clients", "throughput_tps", "mean_latency_s", "p99_latency_s"]
+            )
+            for p in curve:
+                writer.writerow(
+                    [args.protocol, args.f, p.clients, f"{p.throughput_tps:.1f}",
+                     f"{p.mean_latency:.6f}", f"{p.p99_latency:.6f}"]
+                )
+        print(f"wrote {args.csv}")
+
+
+def _cmd_peak(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import peak_throughput
+
+    rows = []
+    peaks: dict[str, float] = {}
+    for protocol in ("marlin", "hotstuff"):
+        peak, _ = peak_throughput(protocol, args.f, sim_time=args.sim_time)
+        peaks[protocol] = peak
+        rows.append([protocol, ktx(peak)])
+    print(format_table(f"peak throughput (f={args.f})", ["protocol", "ktx/s"], rows))
+    if args.save:
+        from repro.harness.results import ResultStore
+
+        store = ResultStore(meta={"experiment": "peak", "f": str(args.f)})
+        store.record_many(f"peak.f{args.f}", peaks)
+        store.save(args.save)
+        print(f"wrote {args.save}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    from repro.harness.results import ResultStore, compare
+
+    before = ResultStore.load(args.before)
+    after = ResultStore.load(args.after)
+    deltas = compare(before, after, tolerance=args.tolerance)
+    if not deltas:
+        print(f"no changes beyond {args.tolerance * 100:.0f}% tolerance "
+              f"({len(after)} metrics compared)")
+        return
+    for delta in deltas:
+        print(delta.render())
+    raise SystemExit(1)
+
+
+def _cmd_viewchange(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import view_change_latency
+
+    result = view_change_latency(args.protocol, args.f, force_unhappy=args.unhappy)
+    print(
+        f"{args.protocol} ({result.path}) f={args.f}: "
+        f"view change latency {ms(result.latency)} ms "
+        f"(views crossed: {result.views_crossed})"
+    )
+
+
+def _cmd_rotate(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import rotating_leader_throughput
+
+    rows = []
+    for protocol in ("marlin", "hotstuff"):
+        point = rotating_leader_throughput(
+            protocol, f=args.f, crashed=args.crashed, clients=args.clients,
+            sim_time=args.sim_time,
+        )
+        rows.append([protocol, ktx(point.throughput_tps), ms(point.mean_latency)])
+    print(
+        format_table(
+            f"rotating leaders, {args.crashed} crashed (f={args.f})",
+            ["protocol", "ktx/s", "lat ms"],
+            rows,
+        )
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.harness.analytical import TABLE_I
+    from repro.harness.scenarios import measure_view_change_cost
+
+    rows = [
+        [row.protocol, row.vc_communication, row.vc_authenticators, row.vc_phases]
+        for row in TABLE_I
+    ]
+    print(format_table("Table I (analytical)", ["protocol", "vc comm", "vc auth", "phases"], rows))
+    measured = []
+    for label, protocol, unhappy in (
+        ("marlin-happy", "marlin", False),
+        ("marlin-unhappy", "marlin", True),
+        ("hotstuff", "hotstuff", False),
+    ):
+        cost = measure_view_change_cost(protocol, args.f, force_unhappy=unhappy)
+        measured.append(
+            [label, str(cost.n), str(cost.messages), str(cost.authenticators), str(cost.phases_to_commit)]
+        )
+    print(
+        format_table(
+            f"measured view-change cost (f={args.f})",
+            ["variant", "n", "messages", "authenticators", "phases"],
+            measured,
+        )
+    )
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> None:
+    from repro.harness.failures import fuzz_schedule
+
+    report = fuzz_schedule(args.seed, protocol=args.protocol, f=args.f, sim_time=args.sim_time)
+    print(f"fuzz seed={report.seed} protocol={report.protocol}")
+    for event in report.events or ["(no adversarial events drawn)"]:
+        print(f"  {event}")
+    print(f"  committed heights: {report.committed_heights}")
+    print(f"  ops committed    : {report.ops_committed}")
+    print(f"  max view         : {report.max_view}")
+    print(f"  safety           : {'OK' if report.safety_ok else 'VIOLATED'}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Marlin (DSN 2022) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, protocol: bool = True) -> None:
+        if protocol:
+            p.add_argument(
+                "--protocol",
+                default="marlin",
+                choices=[
+                    "marlin",
+                    "hotstuff",
+                    "chained-marlin",
+                    "chained-hotstuff",
+                    "fast-hotstuff",
+                    "insecure",
+                ],
+            )
+        p.add_argument("--f", type=int, default=1, help="fault tolerance (n = 3f+1)")
+        p.add_argument("--sim-time", type=float, default=22.0)
+
+    p = sub.add_parser("point", help="one closed-loop load point")
+    common(p)
+    p.add_argument("--clients", type=int, default=16384)
+    p.add_argument("--warmup", type=float, default=7.0)
+    p.set_defaults(func=_cmd_point)
+
+    p = sub.add_parser("curve", help="throughput-latency sweep (Fig. 10a-f)")
+    common(p)
+    p.add_argument("--csv", default=None, help="also write the curve to a CSV file")
+    p.set_defaults(func=_cmd_curve)
+
+    p = sub.add_parser("peak", help="peak throughput, both protocols (Fig. 10g)")
+    common(p, protocol=False)
+    p.add_argument("--save", default=None, help="write metrics to a JSON result store")
+    p.set_defaults(func=_cmd_peak)
+
+    p = sub.add_parser("compare", help="diff two result stores (regression check)")
+    p.add_argument("before")
+    p.add_argument("after")
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("viewchange", help="view-change latency (Fig. 10i)")
+    common(p)
+    p.add_argument("--unhappy", action="store_true", help="force the pre-prepare path")
+    p.set_defaults(func=_cmd_viewchange)
+
+    p = sub.add_parser("rotate", help="rotating leaders under crashes (Fig. 10j)")
+    common(p, protocol=False)
+    p.set_defaults(f=3)
+    p.add_argument("--crashed", type=int, default=0)
+    p.add_argument("--clients", type=int, default=24576)
+    p.set_defaults(func=_cmd_rotate)
+
+    p = sub.add_parser("table1", help="complexity table, analytical + measured")
+    common(p, protocol=False)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fuzz", help="one randomly-adversarial schedule")
+    common(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "explore", help="safety hunt over adversarial message interleavings"
+    )
+    common(p)
+    p.add_argument("--schedules", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_explore)
+
+    return parser
+
+
+def _cmd_explore(args: argparse.Namespace) -> None:
+    from repro.harness.des_runtime import PROTOCOLS
+    from repro.harness.explorer import explore
+
+    replica_cls = PROTOCOLS[args.protocol]
+    results = explore(replica_cls, schedules=args.schedules, base_seed=args.seed)
+    views = max(r.max_view for r in results)
+    commits = sum(max(r.committed_heights) for r in results)
+    print(
+        f"{args.schedules} adversarial schedules of {args.protocol}: all safe. "
+        f"(max view reached {views}, {commits} total committed heights, "
+        f"{sum(r.dropped for r in results)} messages dropped)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Canonical binary encoding for protocol data.
+
+All signed material (blocks, votes, QC payloads) must be encoded the same
+way on every replica, otherwise digests and signatures would diverge.  This
+module implements a tiny, deterministic, self-describing binary codec:
+
+* integers  -> tag ``i`` + 8-byte big-endian two's complement
+* bytes     -> tag ``b`` + 4-byte length + payload
+* strings   -> tag ``s`` + 4-byte length + UTF-8 payload
+* None      -> tag ``n``
+* booleans  -> tag ``t`` / ``f``
+* tuples/lists -> tag ``l`` + 4-byte count + encoded items
+* dicts     -> tag ``d`` + 4-byte count + sorted (key, value) pairs
+
+The format is intentionally simpler than CBOR but shares its property that
+there is exactly one encoding for any value, which is what makes it safe to
+hash and sign.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.common.errors import EncodingError
+
+_INT = b"i"
+_BYTES = b"b"
+_STR = b"s"
+_NONE = b"n"
+_TRUE = b"t"
+_FALSE = b"f"
+_LIST = b"l"
+_DICT = b"d"
+
+_I64 = struct.Struct(">q")
+_U32 = struct.Struct(">I")
+
+
+def encode(value: Any) -> bytes:
+    """Deterministically encode ``value`` to bytes.
+
+    Supported types: ``int``, ``bytes``, ``str``, ``bool``, ``None``,
+    ``list``/``tuple`` and ``dict`` with string keys.  Raises
+    :class:`EncodingError` for anything else.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _NONE
+    elif value is True:
+        out += _TRUE
+    elif value is False:
+        out += _FALSE
+    elif isinstance(value, int):
+        out += _INT
+        try:
+            out += _I64.pack(value)
+        except struct.error as exc:
+            raise EncodingError(f"integer out of 64-bit range: {value}") from exc
+    elif isinstance(value, bytes):
+        out += _BYTES
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _STR
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out += _LIST
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out += _DICT
+        out += _U32.pack(len(value))
+        try:
+            keys = sorted(value)
+        except TypeError as exc:
+            raise EncodingError("dict keys must be sortable strings") from exc
+        for key in keys:
+            if not isinstance(key, str):
+                raise EncodingError(f"dict keys must be str, got {type(key).__name__}")
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+    else:
+        raise EncodingError(f"cannot canonically encode {type(value).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode`.
+
+    Raises :class:`EncodingError` on malformed or trailing input.
+    """
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise EncodingError(f"trailing bytes after value ({len(data) - offset} left)")
+    return value
+
+
+def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise EncodingError("truncated input: missing tag")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _NONE:
+        return None, offset
+    if tag == _TRUE:
+        return True, offset
+    if tag == _FALSE:
+        return False, offset
+    if tag == _INT:
+        end = offset + 8
+        _check_len(data, end)
+        return _I64.unpack_from(data, offset)[0], end
+    if tag in (_BYTES, _STR):
+        _check_len(data, offset + 4)
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        end = offset + length
+        _check_len(data, end)
+        raw = data[offset:end]
+        if tag == _STR:
+            try:
+                return raw.decode("utf-8"), end
+            except UnicodeDecodeError as exc:
+                raise EncodingError("invalid UTF-8 in string") from exc
+        return raw, end
+    if tag == _LIST:
+        _check_len(data, offset + 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _DICT:
+        _check_len(data, offset + 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        result: dict[str, Any] = {}
+        previous_key: str | None = None
+        for _ in range(count):
+            key, offset = _decode_from(data, offset)
+            if not isinstance(key, str):
+                raise EncodingError("dict key decoded to non-string")
+            if previous_key is not None and key <= previous_key:
+                raise EncodingError("dict keys not in canonical (sorted) order")
+            previous_key = key
+            value, offset = _decode_from(data, offset)
+            result[key] = value
+        return result, offset
+    raise EncodingError(f"unknown tag byte {tag!r}")
+
+
+def _check_len(data: bytes, end: int) -> None:
+    if end > len(data):
+        raise EncodingError("truncated input")

@@ -1,0 +1,229 @@
+"""Blocks: the unit of agreement (paper Sections III-A and V-A).
+
+A block is ``b = [pl, pview, view, height, op, justify]``:
+
+* ``pl`` — hash digest of the parent block (``None`` for virtual blocks
+  and for the genesis block);
+* ``pview`` — the view number of the parent block (a Marlin addition to
+  the HotStuff syntax);
+* ``view`` / ``height`` — where the block sits in the view/height grid;
+* ``op`` — a batch of client operations;
+* ``justify`` — a QC for the parent block (digest-linked here to keep
+  block identity well-founded; the full QC travels in the message).
+
+**Virtual blocks** (Section V-A) have ``pl = None``; they are proposed in
+view-change Case V1 against a parent that may not exist yet, and acquire a
+real parent when a ``prepareQC`` ``vc`` for that parent surfaces.
+
+**Shadow blocks** (Section IV-D) are two blocks proposed together sharing
+one operation payload; sharing is expressed at the message layer (the
+second proposal's wire size omits the payload) while each block object
+still owns its ``operations`` tuple, so digests stay self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.common.errors import InvalidBlock
+from repro.crypto.hashing import Digest, digest_of, short_hex
+
+OPERATION_OVERHEAD = 16
+"""Wire overhead per operation: client id, sequence number, length."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One client operation: an opaque payload plus its provenance.
+
+    ``weight`` lets a single object stand for ``weight`` identical
+    back-to-back operations from one client — a simulation-scaling device
+    (wire size, execution cost and throughput all scale by it) that keeps
+    object counts manageable at paper-scale loads.  Real deployments use
+    ``weight == 1``.
+    """
+
+    client_id: int
+    sequence: int
+    payload: bytes = b""
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise InvalidBlock(f"operation weight must be >= 1, got {self.weight}")
+
+    @property
+    def wire_size(self) -> int:
+        return (OPERATION_OVERHEAD + len(self.payload)) * self.weight
+
+    def key(self) -> tuple[int, int]:
+        """Deduplication key: (client, sequence)."""
+        return (self.client_id, self.sequence)
+
+    def encodable(self) -> list:
+        return [self.client_id, self.sequence, self.payload, self.weight]
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block; identity is the digest of its canonical form."""
+
+    parent_link: Digest | None
+    parent_view: int
+    view: int
+    height: int
+    operations: tuple[Operation, ...]
+    justify_digest: Digest
+    proposer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.view < 0 or self.height < 0 or self.parent_view < 0:
+            raise InvalidBlock("view/height fields cannot be negative")
+        if self.parent_view > self.view:
+            raise InvalidBlock(
+                f"parent view {self.parent_view} exceeds block view {self.view}"
+            )
+        if self.parent_link is not None and len(self.parent_link) != 32:
+            raise InvalidBlock("parent link must be a 32-byte digest")
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for the view-change virtual blocks of Section V-A."""
+        return self.parent_link is None and self.height > 0
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.height == 0
+
+    @cached_property
+    def digest(self) -> Digest:
+        return digest_of(
+            [
+                self.parent_link,
+                self.parent_view,
+                self.view,
+                self.height,
+                [op.encodable() for op in self.operations],
+                self.justify_digest,
+                self.proposer,
+            ]
+        )
+
+    @property
+    def num_ops(self) -> int:
+        """Logical operation count (weighted)."""
+        return sum(op.weight for op in self.operations)
+
+    @property
+    def payload_size(self) -> int:
+        return sum(op.wire_size for op in self.operations)
+
+    @property
+    def header_size(self) -> int:
+        """Wire size of everything except the operation payload."""
+        return 32 + 8 + 8 + 8 + 32 + 8
+
+    @property
+    def wire_size(self) -> int:
+        return self.header_size + self.payload_size
+
+    def __repr__(self) -> str:
+        kind = "virtual" if self.is_virtual else "block"
+        return (
+            f"<{kind} v={self.view} h={self.height} "
+            f"ops={len(self.operations)} {short_hex(self.digest)}>"
+        )
+
+
+_GENESIS_JUSTIFY = digest_of(["genesis-justify"])
+
+
+def genesis_block() -> Block:
+    """The common root of every replica's tree (view 0, height 0)."""
+    return Block(
+        parent_link=None,
+        parent_view=0,
+        view=0,
+        height=0,
+        operations=(),
+        justify_digest=_GENESIS_JUSTIFY,
+        proposer=0,
+    )
+
+
+def make_child(
+    parent: "Block",
+    view: int,
+    operations: tuple[Operation, ...],
+    justify_digest: Digest,
+    proposer: int = 0,
+) -> Block:
+    """Convenience constructor for a normal block extending ``parent``."""
+    return Block(
+        parent_link=parent.digest,
+        parent_view=parent.view,
+        view=view,
+        height=parent.height + 1,
+        operations=operations,
+        justify_digest=justify_digest,
+        proposer=proposer,
+    )
+
+
+@dataclass
+class BatchPool:
+    """A mempool of pending operations, drained into block batches.
+
+    ``max_batch`` counts *weighted* operations.  Committed operations are
+    pruned from the pending queue (they may sit in several replicas'
+    pools under leader rotation) but stay in the dedup set so a later
+    leader cannot re-admit them.
+    """
+
+    max_batch: int = 400
+    _pending: list[Operation] = field(default_factory=list)
+    _seen: set[tuple[int, int]] = field(default_factory=set)
+
+    def add(self, op: Operation) -> bool:
+        """Queue an operation; duplicate (client, seq) pairs are dropped."""
+        if op.key() in self._seen:
+            return False
+        self._seen.add(op.key())
+        self._pending.append(op)
+        return True
+
+    def next_batch(self) -> tuple[Operation, ...]:
+        """Remove and return up to ``max_batch`` weighted operations (FIFO).
+
+        Always returns at least one operation when any is pending, even if
+        its weight alone exceeds the cap.
+        """
+        batch: list[Operation] = []
+        total = 0
+        for op in self._pending:
+            if batch and total + op.weight > self.max_batch:
+                break
+            batch.append(op)
+            total += op.weight
+        del self._pending[: len(batch)]
+        return tuple(batch)
+
+    def requeue(self, ops: tuple[Operation, ...]) -> None:
+        """Put operations back at the front (e.g. proposal abandoned)."""
+        self._pending[:0] = list(ops)
+
+    def forget(self, ops: tuple[Operation, ...]) -> None:
+        """Prune committed operations from the pending queue."""
+        keys = {op.key() for op in ops}
+        if not keys:
+            return
+        self._pending = [op for op in self._pending if op.key() not in keys]
+
+    @property
+    def pending_ops(self) -> int:
+        """Weighted count of queued operations."""
+        return sum(op.weight for op in self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)

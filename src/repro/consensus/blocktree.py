@@ -1,0 +1,134 @@
+"""The per-replica tree of blocks (paper Section III-A).
+
+Each replica stores a tree rooted at the genesis block.  On top of plain
+digest-linked storage the tree adds what Marlin needs:
+
+* **virtual-block resolution** — a virtual block has ``parent_link=None``;
+  once a ``prepareQC`` ``vc`` for its real parent is validated, the tree
+  records ``resolved parent`` so branch traversal works (Section V-C);
+* branch queries: ``extends`` (is b' on the branch led by b), conflict
+  detection, and path extraction used at commit time;
+* pending-parent tracking for out-of-order arrival (block sync).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import InvalidBlock
+from repro.consensus.block import Block
+from repro.crypto.hashing import Digest
+
+
+class BlockTree:
+    """Digest-indexed tree with virtual-parent resolution."""
+
+    def __init__(self, genesis: Block) -> None:
+        if not genesis.is_genesis:
+            raise InvalidBlock("block tree must be rooted at a genesis block")
+        self._genesis = genesis
+        self._blocks: dict[Digest, Block] = {genesis.digest: genesis}
+        self._resolved_parent: dict[Digest, Digest] = {}
+
+    @property
+    def genesis(self) -> Block:
+        return self._genesis
+
+    def add(self, block: Block) -> None:
+        """Insert a block; idempotent.  Parents may arrive later."""
+        self._blocks.setdefault(block.digest, block)
+
+    def get(self, digest: Digest) -> Block | None:
+        return self._blocks.get(digest)
+
+    def __contains__(self, digest: Digest) -> bool:
+        return digest in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def resolve_virtual_parent(self, virtual_digest: Digest, parent_digest: Digest) -> None:
+        """Record the real parent of a virtual block (from its ``vc``)."""
+        self._resolved_parent[virtual_digest] = parent_digest
+
+    def parent_digest(self, block: Block) -> Digest | None:
+        """Parent digest, following virtual resolution when needed."""
+        if block.parent_link is not None:
+            return block.parent_link
+        if block.is_genesis:
+            return None
+        return self._resolved_parent.get(block.digest)
+
+    def parent(self, block: Block) -> Block | None:
+        digest = self.parent_digest(block)
+        if digest is None:
+            return None
+        return self._blocks.get(digest)
+
+    def branch(self, block: Block) -> Iterator[Block]:
+        """Yield ``block`` then each known ancestor, newest first.
+
+        Stops at genesis or at the first missing/unresolved parent.
+        """
+        current: Block | None = block
+        while current is not None:
+            yield current
+            if current.is_genesis:
+                return
+            current = self.parent(current)
+
+    def missing_ancestor(self, block: Block) -> Digest | None:
+        """Digest of the first ancestor we lack, or None if branch complete.
+
+        An unresolved virtual block also counts as a gap (we cannot know
+        its parent digest yet), reported as its own digest.
+        """
+        current: Block | None = block
+        while current is not None and not current.is_genesis:
+            digest = self.parent_digest(current)
+            if digest is None:
+                return current.digest
+            parent = self._blocks.get(digest)
+            if parent is None:
+                return digest
+            current = parent
+        return None
+
+    def extends(self, descendant: Block, ancestor_digest: Digest) -> bool:
+        """Is the block with ``ancestor_digest`` on ``descendant``'s branch?
+
+        A block is considered an extension of itself (matches the paper's
+        use in locking rules, where "b or an extension of b" is the safe
+        set).
+        """
+        for node in self.branch(descendant):
+            if node.digest == ancestor_digest:
+                return True
+        return False
+
+    def conflicts(self, a: Block, b: Block) -> bool:
+        """Two blocks conflict iff neither's branch contains the other."""
+        return not self.extends(a, b.digest) and not self.extends(b, a.digest)
+
+    def path_between(self, ancestor_digest: Digest, descendant: Block) -> list[Block] | None:
+        """Blocks strictly after ``ancestor`` up to ``descendant``, oldest first.
+
+        Returns None if ``ancestor`` is not on the branch (or a gap hides
+        it).  An empty list means descendant *is* the ancestor.
+        """
+        path: list[Block] = []
+        for node in self.branch(descendant):
+            if node.digest == ancestor_digest:
+                path.reverse()
+                return path
+            path.append(node)
+        return None
+
+    def prune_keep(self, keep: set[Digest]) -> int:
+        """Drop all blocks outside ``keep`` (checkpointing); returns count."""
+        keep = set(keep) | {self._genesis.digest}
+        doomed = [d for d in self._blocks if d not in keep]
+        for digest in doomed:
+            del self._blocks[digest]
+            self._resolved_parent.pop(digest, None)
+        return len(doomed)

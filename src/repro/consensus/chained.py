@@ -1,0 +1,169 @@
+"""Chained (pipelined) Marlin and HotStuff.
+
+The paper: "As in HotStuff and all its descendants, Marlin fully supports
+the chaining (pipelining) mode."  In chained mode one broadcast per block
+drives every phase at once: the PREPARE for block ``b_{k+1}`` carries the
+``prepareQC`` for ``b_k``, and that QC doubles as the later-phase message
+for the ancestors.  Commits follow chain rules instead of explicit
+COMMIT/DECIDE rounds:
+
+* **Chained Marlin** (2-chain): a ``prepareQC`` for ``b'`` certifies that
+  a quorum voted for ``b'`` under the N1 rule — and the N1 rule makes
+  every such voter *lock* on ``b'.justify``, the ``prepareQC`` of the
+  direct parent ``b``.  A quorum locked on ``prepareQC(b)`` is exactly
+  what a ``commitQC(b)`` proves in the event-driven protocol, so ``b``
+  commits as soon as ``prepareQC(b')`` is observed (``b'`` a direct,
+  same-view child of ``b``).
+
+* **Chained HotStuff** (3-chain): the classic rule — observing
+  ``prepareQC(b'')`` over a direct same-view chain ``b <- b' <- b''``
+  locks ``b'`` and commits ``b``.
+
+When the leader has nothing to propose, both variants *flush* by falling
+back to their event-driven parent (explicit COMMIT/PRECOMMIT rounds), so
+the last blocks of a burst still commit promptly and the view-change
+machinery is inherited unchanged (including Marlin's pre-prepare phase,
+virtual blocks and the happy path).
+"""
+
+from __future__ import annotations
+
+from repro.consensus.hotstuff.replica import HotStuffReplica
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.messages import Justify, PhaseMsg, VoteMsg
+from repro.consensus.qc import Phase, QuorumCertificate
+from repro.consensus.rank import Rank, compare_qc_rank
+
+
+class ChainedMarlinReplica(MarlinReplica):
+    """Two-phase Marlin with one broadcast per block under load."""
+
+    def _on_prepare_vote(self, src: int, vote: VoteMsg) -> None:
+        qc = self.collector.add_vote(Phase.PREPARE, vote.view, vote.block, src, vote.share)
+        if qc is None:
+            return
+        self.ctx.charge(self.costs.combine(self.config.quorum))
+        if self._outstanding_prepare == vote.block.digest:
+            self._outstanding_prepare = None
+        if compare_qc_rank(qc, self.high_qc.qc) is Rank.HIGHER:
+            self.high_qc = Justify(qc)
+        self._leader_ready = True
+        self._chain_commit_under(qc)
+        before = self.stats["proposals_sent"]
+        self._maybe_propose()
+        if self.stats["proposals_sent"] == before:
+            # Nothing to chain onto: flush with an explicit COMMIT round
+            # so the certified block does not dangle awaiting load.
+            self.ctx.broadcast(
+                PhaseMsg(phase=Phase.COMMIT, view=vote.view, justify=Justify(qc))
+            )
+
+    def _on_prepare(self, src: int, msg: PhaseMsg) -> None:
+        qc = msg.justify.qc
+        if (
+            qc.phase == Phase.PREPARE
+            and self.leader_of(msg.view) == src
+            and self.crypto.qc_is_valid(qc)
+        ):
+            self._chain_commit_under(qc)
+        super()._on_prepare(src, msg)
+
+    def _chain_commit_under(self, qc: QuorumCertificate) -> None:
+        """2-chain rule: commit the direct same-view parent of block(qc).
+
+        ``justify_in_view`` on the certified summary says the block's own
+        justify is a prepareQC formed in its view — i.e. the parent is a
+        direct, same-view predecessor whose prepareQC every voter locked
+        on.  That quorum-of-locks is the event-driven ``commitQC``.
+        """
+        summary = qc.block
+        if qc.phase != Phase.PREPARE or not summary.justify_in_view:
+            return
+        block = self.tree.get(summary.digest)
+        if block is None or block.parent_link is None:
+            return
+        parent = self.tree.get(block.parent_link)
+        if parent is None or parent.height + 1 != block.height:
+            return
+        if self.ledger.is_committed(parent.digest):
+            return
+        self._commit_digest(parent.digest)
+
+
+class ChainedHotStuffReplica(HotStuffReplica):
+    """Three-phase HotStuff with one broadcast per block under load."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Recent prepareQCs by certified-block digest (the 2-chain lock
+        #: needs the parent's QC object, which travelled in an earlier
+        #: proposal's justify).
+        self._qc_by_block: dict[bytes, QuorumCertificate] = {}
+
+    def _on_vote(self, src: int, vote: VoteMsg) -> None:
+        if vote.phase != Phase.PREPARE:
+            super()._on_vote(src, vote)
+            return
+        if vote.view != self.cview or not self.is_leader(vote.view):
+            return
+        try:
+            self.ctx.charge(self.costs.verify_vote())
+            self.crypto.verify_vote(src, vote.phase, vote.view, vote.block, vote.share)
+        except Exception:
+            return
+        qc = self.collector.add_vote(vote.phase, vote.view, vote.block, src, vote.share)
+        if qc is None:
+            return
+        self.ctx.charge(self.costs.combine(self.config.quorum))
+        if self._outstanding_prepare == vote.block.digest:
+            self._outstanding_prepare = None
+        if (qc.view, qc.block.height) > (self.prepare_qc.view, self.prepare_qc.block.height):
+            self.prepare_qc = qc
+        self._observe_chain(qc)
+        before = self.stats["proposals_sent"]
+        self._maybe_propose()
+        if self.stats["proposals_sent"] == before:
+            # Flush: fall back to the explicit three-phase tail.
+            self.ctx.broadcast(
+                PhaseMsg(phase=Phase.PRECOMMIT, view=vote.view, justify=Justify(qc))
+            )
+
+    def _on_prepare(self, src: int, msg: PhaseMsg) -> None:
+        qc = msg.justify.qc
+        if (
+            qc.phase == Phase.PREPARE
+            and self.leader_of(msg.view) == src
+            and self.crypto.qc_is_valid(qc)
+        ):
+            self._observe_chain(qc)
+        super()._on_prepare(src, msg)
+
+    def _observe_chain(self, qc: QuorumCertificate) -> None:
+        """Record ``qc`` and apply the 2-chain lock / 3-chain commit rules."""
+        self._qc_by_block[qc.block.digest] = qc
+        if len(self._qc_by_block) > 256:
+            # Bounded memory: drop arbitrary old entries (chain rules only
+            # ever look a couple of blocks back).
+            for key in list(self._qc_by_block)[:64]:
+                del self._qc_by_block[key]
+        b2 = self.tree.get(qc.block.digest)
+        if b2 is None or b2.parent_link is None:
+            return
+        b1 = self.tree.get(b2.parent_link)
+        if b1 is None or b1.view != b2.view or b1.height + 1 != b2.height:
+            return
+        # 2-chain: lock on the parent's prepareQC.
+        parent_qc = self._qc_by_block.get(b1.digest)
+        if parent_qc is not None and (
+            (parent_qc.view, parent_qc.block.height)
+            > (self.locked_qc.view, self.locked_qc.block.height)
+        ):
+            self.locked_qc = parent_qc
+        if b1.parent_link is None:
+            return
+        b0 = self.tree.get(b1.parent_link)
+        if b0 is None or b0.view != b1.view or b0.height + 1 != b1.height:
+            return
+        # 3-chain: commit the grandparent.
+        if not self.ledger.is_committed(b0.digest):
+            self._commit_digest(b0.digest)

@@ -1,0 +1,135 @@
+"""Fast-HotStuff / Jolteon: two-phase BFT with a quadratic view change.
+
+The paper's Section IV-C characterises Fast-HotStuff and Jolteon as "a
+hybrid of HotStuff and the classic PBFT-like view change: the new leader
+should present a proposal together with evidence of a quorum of view
+change messages to unlock the locked QC.  Hence, both achieve quadratic
+complexity."
+
+This implementation reproduces exactly that trade-off so Table I's
+contrast can be *measured* against Marlin:
+
+* the normal case is Marlin's two-phase commit, unchanged (both protocols
+  lock on ``prepareQC``s);
+* the view change ships an :class:`~repro.consensus.messages.AggregateNewView`
+  containing the leader's full quorum of VIEW-CHANGE messages.  A replica
+  verifies every embedded QC (O(n) work each, O(n^2) total) and, if the
+  evidence is a genuine quorum whose maximum the proposal extends, votes
+  **regardless of its own lock** — the evidence proves no conflicting
+  block can have committed (if one had, f+1 correct replicas would be
+  locked on its QC, and any quorum of VIEW-CHANGE messages would contain
+  it, forcing the leader to extend it).
+
+Jolteon's mechanism (timeout certificates over signed high-QC claims) has
+the same asymptotics; this class stands in for both in the measured
+complexity benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.messages import AggregateNewView, Justify, VoteMsg
+from repro.consensus.qc import BlockSummary, Phase
+from repro.consensus.rank import Rank, compare_qc_rank, highest_qcs
+
+
+class FastHotStuffReplica(MarlinReplica):
+    """Marlin's normal case + the PBFT-style quadratic view change."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.handlers[AggregateNewView] = self._on_aggregate_new_view
+
+    def _begin_pre_prepare(self, view: int) -> None:
+        """Replace Marlin's pre-prepare with the aggregate broadcast."""
+        if view in self._pre_prepare_started:
+            return
+        self._pre_prepare_started.add(view)
+        if self.cview < view:
+            self._advance_view(view)
+        messages = self._vc_messages.pop(view, {})
+        prepare_qcs = [
+            m.justify.qc
+            for m in messages.values()
+            if m.justify is not None and m.justify.qc.phase == Phase.PREPARE
+        ]
+        maxima = highest_qcs(prepare_qcs)
+        if not maxima:
+            return
+        qc = maxima[0]
+        batch = self.pool.next_batch()
+        block = self._extend(qc.block, view, batch, qc)
+        self.tree.add(block)
+        self._leader_ready = True
+        self._outstanding_prepare = block.digest
+        self.stats["proposals_sent"] += 1
+        self.ctx.broadcast(
+            AggregateNewView(
+                view=view,
+                block=block,
+                justify=Justify(qc),
+                proofs=tuple(sorted(messages.items())),
+            )
+        )
+
+    def _on_aggregate_new_view(self, src: int, msg: AggregateNewView) -> None:
+        if self.leader_of(msg.view) != src:
+            return
+        if msg.view > self.cview:
+            # A quorum of view-v VIEW-CHANGE messages IS proof the view
+            # started; validated below before any action.
+            pass
+        elif msg.view < self.cview:
+            return
+        # Verify the evidence: a quorum of distinct, valid VIEW-CHANGE
+        # messages for this view.  This is the O(n) per-replica work that
+        # makes the protocol quadratic overall.
+        distinct: set[int] = set()
+        best = None
+        for sender, proof in msg.proofs:
+            if proof.view != msg.view or proof.justify is None:
+                continue
+            justify = proof.justify
+            if justify.qc.phase != Phase.PREPARE:
+                continue
+            self.ctx.charge(self.costs.verify_qc(justify.qc))
+            if not self.crypto.qc_is_valid(justify.qc):
+                continue
+            distinct.add(sender)
+            if best is None or compare_qc_rank(justify.qc, best) is Rank.HIGHER:
+                best = justify.qc
+        if len(distinct) < self.config.quorum or best is None:
+            return
+        block = msg.block
+        qc = msg.justify.qc
+        # The proposal must extend exactly the evidence's maximum.
+        if compare_qc_rank(qc, best) is not Rank.EQUAL:
+            return
+        if (
+            block.view != msg.view
+            or block.parent_link != qc.block.digest
+            or block.height != qc.block.height + 1
+            or block.justify_digest != qc.digest
+        ):
+            return
+        if not self.crypto.qc_is_valid(qc):
+            return
+        if msg.view > self.cview:
+            self._advance_view(msg.view)
+        # PBFT-style unlock: no rank-versus-lock check here.  The quorum
+        # evidence overrides the lock — a committed block's QC would
+        # necessarily appear in it, so extending the evidence's maximum
+        # can never conflict with a committed block.
+        summary = BlockSummary.of(block, justify_in_view=False)
+        if summary.view < self.last_voted.view:
+            return
+        if summary.view == self.last_voted.view and summary.height <= self.last_voted.height:
+            return
+        self.ctx.charge(self.costs.verify_block(block))
+        self.tree.add(block)
+        share = self.crypto.sign_vote(self.id, Phase.PREPARE, msg.view, summary)
+        self._send_vote(
+            src, VoteMsg(phase=Phase.PREPARE, view=msg.view, block=summary, share=share)
+        )
+        self.last_voted = summary
+        self.high_qc = Justify(qc)

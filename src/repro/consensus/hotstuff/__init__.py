@@ -1,0 +1,12 @@
+"""The HotStuff baseline (paper Section IV-A).
+
+Three-phase basic HotStuff with the same pipelining discipline as the
+Marlin implementation (a new proposal enters the pipeline as soon as its
+parent's ``prepareQC`` forms), so every head-to-head comparison isolates
+exactly the protocol difference: three phases and a lock on
+``precommitQC`` versus Marlin's two phases and a lock on ``prepareQC``.
+"""
+
+from repro.consensus.hotstuff.replica import HotStuffReplica
+
+__all__ = ["HotStuffReplica"]

@@ -1,0 +1,10 @@
+"""Marlin: two-phase BFT with linearity (the paper's contribution).
+
+* :mod:`repro.consensus.marlin.replica` — the full protocol of Section V:
+  two-phase normal case (Fig. 6/7), three-case view change (Fig. 9) with
+  virtual and shadow blocks, and the two-phase happy-path view change.
+"""
+
+from repro.consensus.marlin.replica import MarlinReplica
+
+__all__ = ["MarlinReplica"]

@@ -1,0 +1,340 @@
+"""The sans-io replica skeleton shared by every protocol.
+
+Subclasses (Marlin, HotStuff, the insecure strawman) provide the phase
+logic; this base owns everything protocol-agnostic:
+
+* the block tree, ledger, mempool and vote collector;
+* the pacemaker: a view timer with exponential back-off, reset on commit
+  progress, plus an optional rotating-leader mode (fixed-period view
+  advancement, as in the paper's Fig. 10j experiments);
+* message dispatch with per-message CPU accounting;
+* client request intake (with forwarding to the current leader);
+* commit plumbing, including block sync for missing ancestors;
+* statistics every experiment reads (commits, view changes, timing).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ProtocolError
+from repro.consensus.block import BatchPool, Block, Operation, genesis_block
+from repro.consensus.blocktree import BlockTree
+from repro.consensus.context import NodeContext
+from repro.consensus.costs import ZeroCostModel
+from repro.consensus.crypto_service import CryptoService
+from repro.consensus.ledger import Ledger
+from repro.consensus.messages import (
+    ClientRequest,
+    ClientRequestBatch,
+    SyncRequest,
+    SyncResponse,
+)
+from repro.consensus.qc import Phase, QuorumCertificate, genesis_qc
+from repro.consensus.votes import VoteCollector
+
+CommitListener = Callable[[Block, float], None]
+
+TIMER_VIEW = "view-timer"
+
+
+class ReplicaBase(ABC):
+    """Common state machine chassis for HotStuff-family replicas."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        config: ClusterConfig,
+        ctx: NodeContext,
+        crypto: CryptoService,
+        costs: ZeroCostModel | None = None,
+        rotation_interval: float | None = None,
+        forward_requests: bool = True,
+    ) -> None:
+        self.id = replica_id
+        self.config = config
+        self.ctx = ctx
+        self.crypto = crypto
+        self.costs = costs or ZeroCostModel()
+        self.rotation_interval = rotation_interval
+        self.forward_requests = forward_requests
+
+        self.genesis = genesis_block()
+        self.genesis_qc = genesis_qc(self.genesis)
+        self.tree = BlockTree(self.genesis)
+        self.ledger = Ledger(self.tree, on_commit_block=self._on_block_committed)
+        self.pool = BatchPool(max_batch=config.batch_size)
+        self.collector = VoteCollector(crypto)
+
+        self.cview = 0
+        self.current_timeout = config.base_timeout
+        self.commit_listeners: list[CommitListener] = []
+        self._pending_commits: dict[bytes, QuorumCertificate | None] = {}
+        self._sync_inflight: set[bytes] = set()
+        self._sync_attempts: dict[bytes, int] = {}
+
+        # Statistics read by experiments.
+        self.stats: dict[str, int] = {
+            "view_changes": 0,
+            "timeouts": 0,
+            "blocks_committed": 0,
+            "ops_committed": 0,
+            "messages_handled": 0,
+            "votes_sent": 0,
+            "proposals_sent": 0,
+        }
+        self.view_entered_at: float = 0.0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    @abstractmethod
+    def handlers(self) -> dict[type, Callable[[int, Any], None]]:
+        """Payload-type -> handler dispatch table (built once)."""
+
+    @abstractmethod
+    def _enter_view(self, view: int) -> None:
+        """Protocol-specific actions on entering ``view`` (send VC, ...)."""
+
+    @abstractmethod
+    def _maybe_propose(self) -> None:
+        """Leader hook: propose if conditions allow."""
+
+    def start(self) -> None:
+        """Boot the replica: enter view 1 through the view-change path.
+
+        Starting via a view change (rather than a special genesis case)
+        keeps the protocol uniform: view 1's leader assembles its first
+        ``highQC`` exactly like any later view's leader.
+        """
+        self._advance_view(1)
+
+    def on_message(self, src: int, payload: Any) -> None:
+        """Single entry point for every inbound message."""
+        self.stats["messages_handled"] += 1
+        self.ctx.charge(self.costs.handle_message())
+        handler = self.handlers.get(type(payload))
+        if handler is None:
+            return
+        try:
+            handler(src, payload)
+        except ProtocolError:
+            # Malformed/invalid messages from (possibly Byzantine) peers
+            # are dropped; correct peers never trigger this path.
+            pass
+
+    # -------------------------------------------------------------- views
+
+    def is_leader(self, view: int | None = None) -> bool:
+        return self.config.leader_of(view if view is not None else self.cview) == self.id
+
+    def leader_of(self, view: int) -> int:
+        return self.config.leader_of(view)
+
+    def _advance_view(self, new_view: int | None = None) -> None:
+        target = new_view if new_view is not None else self.cview + 1
+        if target <= self.cview:
+            return
+        self.cview = target
+        self.stats["view_changes"] += 1
+        self.view_entered_at = self.ctx.now
+        self.collector.discard_view(target - 1)
+        self._arm_view_timer()
+        self._enter_view(target)
+
+    def _arm_view_timer(self) -> None:
+        if self.rotation_interval is not None:
+            self.ctx.set_timer(TIMER_VIEW, self.rotation_interval, self._on_view_timeout)
+        else:
+            self.ctx.set_timer(TIMER_VIEW, self.current_timeout, self._on_view_timeout)
+
+    def _on_view_timeout(self) -> None:
+        self.stats["timeouts"] += 1
+        if self.rotation_interval is None:
+            self.current_timeout = min(
+                self.current_timeout * self.config.timeout_multiplier,
+                self.config.max_timeout,
+            )
+        self._advance_view()
+
+    def _on_progress(self) -> None:
+        """Commit progress observed: reset back-off, rearm the timer.
+
+        In rotating-leader mode the period is fixed, so progress does not
+        defer the next rotation (matching the Fig. 10j methodology).
+        """
+        if self.rotation_interval is None:
+            self.current_timeout = self.config.base_timeout
+            self._arm_view_timer()
+
+    # ------------------------------------------------------------- clients
+
+    def on_client_request(self, request: ClientRequest) -> None:
+        """Accept an operation; leaders enqueue, others forward."""
+        op = Operation(request.client_id, request.sequence, request.payload)
+        if self.is_leader():
+            if self.pool.add(op):
+                self._maybe_propose()
+        elif self.forward_requests:
+            self.ctx.send(self.leader_of(self.cview), request)
+        else:
+            self.pool.add(op)
+
+    def submit_operations(self, ops: list[Operation]) -> None:
+        """Bulk intake used by the DES workload generator (leader only)."""
+        for op in ops:
+            self.pool.add(op)
+        if self.is_leader():
+            self._maybe_propose()
+
+    def _handle_client_request(self, src: int, request: ClientRequest) -> None:
+        self.on_client_request(request)
+
+    def _handle_request_batch(self, src: int, batch: ClientRequestBatch) -> None:
+        """Aggregate intake from the DES workload generator.
+
+        Non-leaders keep the operations locally (they may become leader
+        after a rotation) rather than forwarding — the generator already
+        fans batches out to every replica it wants them at.
+        """
+        for op in batch.operations:
+            self.pool.add(op)
+        if self.is_leader():
+            self._maybe_propose()
+
+    # -------------------------------------------------------------- commit
+
+    def _commit_by_qc(self, qc: QuorumCertificate) -> None:
+        """Commit the block certified by a COMMIT QC, syncing if needed."""
+        self._commit_digest(qc.block.digest, qc)
+
+    def _commit_digest(self, digest: bytes, qc: QuorumCertificate | None = None) -> None:
+        """Commit the block with ``digest`` (and ancestors), syncing gaps.
+
+        ``qc`` is retained for bookkeeping only; chained-mode commits have
+        no explicit COMMIT QC (the chain of prepare QCs is the proof) and
+        pass None.
+        """
+        block = self.tree.get(digest)
+        if block is None or not self.ledger.can_commit(block):
+            self._pending_commits[digest] = qc
+            missing = self.tree.missing_ancestor(block) if block is not None else digest
+            if missing is not None:
+                self._request_sync(missing)
+            return
+        if self.ledger.is_committed(block.digest):
+            return
+        committed = self.ledger.commit(block)
+        for node in committed:
+            self.ctx.charge(self.costs.db_write(node))
+            self.ctx.charge(self.costs.execute(len(node.operations)))
+        self._on_progress()
+
+    def _on_block_committed(self, block: Block) -> None:
+        self.stats["blocks_committed"] += 1
+        self.stats["ops_committed"] += len(block.operations)
+        self.pool.forget(block.operations)
+        now = self.ctx.now
+        for listener in self.commit_listeners:
+            listener(block, now)
+
+    # ---------------------------------------------------------------- sync
+
+    def _request_sync(self, digest: bytes) -> None:
+        """Fetch one missing block from a single peer, with retries.
+
+        One peer at a time keeps sync traffic off the hot path (a fan-out
+        of full-block responses can monopolise every NIC); the retry
+        timer walks the peer ring, so a block held by only one correct
+        replica is still found within ``n`` attempts.
+        """
+        if digest in self._sync_inflight:
+            return
+        self._sync_inflight.add(digest)
+        attempt = self._sync_attempts.get(digest, 0)
+        self._sync_attempts[digest] = attempt + 1
+        target = (self.leader_of(self.cview) + attempt) % self.config.num_replicas
+        if target == self.id:
+            target = (target + 1) % self.config.num_replicas
+            self._sync_attempts[digest] += 1
+        self.ctx.send(target, SyncRequest(digests=(digest,)))
+        self.ctx.set_timer("sync-retry", 0.5, self._sync_retry)
+
+    def _sync_retry(self) -> None:
+        """Re-issue sync requests that have not been satisfied yet."""
+        self._sync_inflight.clear()
+        self._retry_pending_commits()
+        # Re-request whatever the pending commits still lack (the attempt
+        # counter moves each retry to the next peer in the ring).
+        for digest in list(self._pending_commits):
+            block = self.tree.get(digest)
+            missing = self.tree.missing_ancestor(block) if block is not None else digest
+            if missing is not None:
+                self._request_sync(missing)
+
+    def _handle_sync_request(self, src: int, request: SyncRequest) -> None:
+        blocks: list[Block] = []
+        resolutions: list[tuple[bytes, bytes]] = []
+        for digest in request.digests:
+            block = self.tree.get(digest)
+            if block is None:
+                continue
+            # Serve a short branch suffix only: a requester more than a
+            # couple of blocks behind re-requests the next gap, which
+            # keeps any single response off the responder's NIC hot path.
+            for node in self.tree.branch(block):
+                if node.is_genesis:
+                    break
+                blocks.append(node)
+                if node.is_virtual:
+                    parent = self.tree.parent_digest(node)
+                    if parent is not None:
+                        resolutions.append((node.digest, parent))
+                if len(blocks) >= 2:
+                    break
+        if blocks:
+            self.ctx.send(src, SyncResponse(blocks=tuple(blocks), resolutions=tuple(resolutions)))
+
+    def _handle_sync_response(self, src: int, response: SyncResponse) -> None:
+        for block in response.blocks:
+            self.ctx.charge(self.costs.verify_block(block))
+            self.tree.add(block)
+            self._sync_inflight.discard(block.digest)
+        for virtual_digest, parent_digest in response.resolutions:
+            self.tree.resolve_virtual_parent(virtual_digest, parent_digest)
+            self._sync_inflight.discard(virtual_digest)
+        self._retry_pending_commits()
+
+    def _retry_pending_commits(self) -> None:
+        for digest in list(self._pending_commits):
+            qc = self._pending_commits[digest]
+            block = self.tree.get(digest)
+            if block is not None and self.ledger.can_commit(block):
+                del self._pending_commits[digest]
+                self._commit_digest(digest, qc)
+
+    # ------------------------------------------------------------- helpers
+
+    def _base_handlers(self) -> dict[type, Callable[[int, Any], None]]:
+        return {
+            ClientRequest: self._handle_client_request,
+            ClientRequestBatch: self._handle_request_batch,
+            SyncRequest: self._handle_sync_request,
+            SyncResponse: self._handle_sync_response,
+        }
+
+    def _send_vote(self, dst: int, vote: Any) -> None:
+        self.stats["votes_sent"] += 1
+        self.ctx.charge(self.costs.sign_vote())
+        self.ctx.send(dst, vote)
+
+    def _verify_qc_or_raise(self, qc: QuorumCertificate) -> None:
+        self.ctx.charge(self.costs.verify_qc(qc))
+        self.crypto.verify_qc(qc)
+
+    def _phase_qc_valid(self, qc: QuorumCertificate, phase: Phase) -> bool:
+        if qc.phase != phase:
+            return False
+        return self.crypto.qc_is_valid(qc)

@@ -1,0 +1,133 @@
+"""The insecure two-phase HotStuff strawman (paper Section IV-B).
+
+Normal case: identical to Marlin (prepare + commit, lock on
+``prepareQC``).  View change: the naive design — the new leader picks the
+highest ``prepareQC`` from ``n - f`` VIEW-CHANGE messages and immediately
+proposes an extension of its block; replicas vote only if that QC ranks at
+least as high as their lock.
+
+The defect (Fig. 2b): with an *unsafe snapshot* the leader's chosen QC may
+rank below some correct replica's lock; that replica refuses every
+proposal, and with ``f`` Byzantine replicas withholding votes the quorum
+is unreachable — liveness fails even though all messages arrive.  The
+test suite and ``examples/view_change_anatomy.py`` reproduce the failure
+and show Marlin recovering from the identical scenario (its PRE-PREPARE
+broadcast reaches the locked replica, which unlocks it via Case R2).
+
+This protocol is **intentionally broken**; it exists to demonstrate why
+Marlin's pre-prepare phase is necessary.  Never deploy it.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.messages import Justify, PhaseMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.qc import BlockSummary, Phase
+from repro.consensus.rank import Rank, block_rank_higher, compare_qc_rank, highest_qcs
+
+
+class TwoPhaseInsecureReplica(MarlinReplica):
+    """Marlin's normal case with the broken direct-extension view change."""
+
+    def _begin_pre_prepare(self, view: int) -> None:
+        """Naive new-view: extend the highest prepareQC, no pre-prepare."""
+        if view in self._pre_prepare_started:
+            return
+        self._pre_prepare_started.add(view)
+        if self.cview < view:
+            self._advance_view(view)
+        messages = self._vc_messages.pop(view, {})
+        prepare_qcs = [
+            m.justify.qc
+            for m in messages.values()
+            if m.justify is not None and m.justify.qc.phase == Phase.PREPARE
+        ]
+        maxima = highest_qcs(prepare_qcs)
+        if not maxima:
+            return
+        qc = maxima[0]
+        batch = self.pool.next_batch()
+        block = self._extend(qc.block, view, batch, qc)
+        self.tree.add(block)
+        self._leader_ready = True
+        self._outstanding_prepare = block.digest
+        self.stats["proposals_sent"] += 1
+        self.ctx.broadcast(
+            PhaseMsg(phase=Phase.PREPARE, view=view, justify=Justify(qc), block=block)
+        )
+
+    def _on_view_change(self, src: int, msg: ViewChangeMsg) -> None:
+        # Reuse Marlin's collection, minus the R2 vc bookkeeping.
+        super()._on_view_change(src, msg)
+
+    def _on_prepare(self, src: int, msg: PhaseMsg) -> None:
+        """Marlin's Case N1 with the view restriction dropped.
+
+        The justify may be a prepareQC from an *older* view (the naive
+        view change reuses it directly); a replica votes iff it ranks at
+        least as high as its lock.  That "iff" is exactly the bug: a
+        replica locked higher refuses forever.
+        """
+        if self.leader_of(msg.view) != src or msg.block is None:
+            return
+        if msg.view > self.cview and not self._catch_up_insecure(msg.view):
+            return
+        if msg.view != self.cview:
+            return
+        block = msg.block
+        justify = msg.justify
+        qc = justify.qc
+        if justify.is_composite or qc.phase != Phase.PREPARE:
+            return
+        if block.justify_digest != qc.digest or block.view != msg.view:
+            return
+        if (
+            block.parent_link != qc.block.digest
+            or block.height != qc.block.height + 1
+        ):
+            return
+        summary = BlockSummary.of(
+            block, justify_in_view=(qc.view == block.view)
+        )
+        if not block_rank_higher(summary, self.last_voted):
+            return
+        self._verify_justify_sigs(justify)
+        if not self.crypto.qc_is_valid(qc):
+            return
+        if not compare_qc_rank(qc, self.locked_qc).at_least:
+            return  # <-- the liveness trap: locked replicas never vote
+        self.tree.add(block)
+        share = self.crypto.sign_vote(self.id, Phase.PREPARE, msg.view, summary)
+        self._send_vote(
+            src, VoteMsg(phase=Phase.PREPARE, view=msg.view, block=summary, share=share)
+        )
+        self.last_voted = summary
+        self.high_qc = justify
+        if compare_qc_rank(qc, self.locked_qc) is Rank.HIGHER:
+            self.locked_qc = qc
+
+    def _catch_up_insecure(self, view: int) -> bool:
+        """The strawman has no in-view QC proof on first proposals; jump
+        optimistically (it is a demonstration protocol)."""
+        self._advance_view(view)
+        return True
+
+    def _maybe_propose(self) -> None:
+        """Case N1 pipeline, accepting the old-view justify after a VC."""
+        if not self.is_leader() or not self._leader_ready:
+            return
+        if self._outstanding_prepare is not None:
+            return
+        qc = self.high_qc.qc
+        if qc.phase != Phase.PREPARE:
+            return
+        batch = self.pool.next_batch()
+        if not batch:
+            return
+        block = self._extend(qc.block, self.cview, batch, qc)
+        self.tree.add(block)
+        self._outstanding_prepare = block.digest
+        self.stats["proposals_sent"] += 1
+        self.ctx.broadcast(
+            PhaseMsg(phase=Phase.PREPARE, view=self.cview, justify=Justify(qc), block=block)
+        )

@@ -1,0 +1,57 @@
+"""Vote collection: accumulate shares into QCs, once per target.
+
+A :class:`VoteCollector` keys accumulators by (phase, view, block digest)
+and guarantees each target yields at most one QC — later votes for a
+finished target are absorbed silently, and duplicate votes from one
+replica are ignored inside the accumulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.crypto_service import CryptoService, VoteAccumulator
+from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
+
+_Key = tuple[Phase, int, bytes]
+
+
+class VoteCollector:
+    """Per-replica vote aggregation across all phases and views."""
+
+    def __init__(self, crypto: CryptoService) -> None:
+        self._crypto = crypto
+        self._accumulators: dict[_Key, VoteAccumulator] = {}
+        self._blocks: dict[_Key, BlockSummary] = {}
+        self._finished: set[_Key] = set()
+
+    def add_vote(
+        self, phase: Phase, view: int, block: BlockSummary, signer: int, share: Any
+    ) -> QuorumCertificate | None:
+        """Record a (pre-verified) vote; returns the QC on quorum, once."""
+        key = (phase, view, block.digest)
+        if key in self._finished:
+            return None
+        acc = self._accumulators.get(key)
+        if acc is None:
+            acc = self._crypto.accumulator(phase, view, block)
+            self._accumulators[key] = acc
+            self._blocks[key] = block
+        if acc.add(signer, share):
+            self._finished.add(key)
+            qc = self._crypto.make_qc(phase, view, block, acc)
+            del self._accumulators[key]
+            return qc
+        return None
+
+    def votes_for(self, phase: Phase, view: int, digest: bytes) -> int:
+        """Current vote count for a target (0 after the QC is formed)."""
+        acc = self._accumulators.get((phase, view, digest))
+        return acc.count if acc is not None else 0
+
+    def discard_view(self, view: int) -> None:
+        """Drop all in-progress accumulation for views <= ``view``."""
+        stale = [key for key in self._accumulators if key[1] <= view]
+        for key in stale:
+            del self._accumulators[key]
+            self._blocks.pop(key, None)

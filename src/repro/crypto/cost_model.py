@@ -1,0 +1,84 @@
+"""CPU cost accounting for cryptographic operations.
+
+The discrete-event simulator charges simulated time for every crypto
+operation a replica performs; this module centralises the accounting so
+protocol code never needs to know the numbers.  Costs come from a
+:class:`repro.common.config.MachineProfile` (defaults calibrated to a
+16-core 2.3 GHz server: ~55 us ECDSA sign, ~160 us verify, ~1.4 ms
+pairing), and the tracker also tallies operation *counts*, which the
+Table I benchmark uses to report measured cryptographic-operation
+complexity per view change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.config import MachineProfile
+
+
+class CryptoOp(Enum):
+    """The operation classes distinguished by the paper's complexity table."""
+
+    SIGN = "sign"
+    VERIFY = "verify"
+    SHARE_SIGN = "share_sign"
+    SHARE_VERIFY = "share_verify"
+    COMBINE = "combine"
+    PAIRING = "pairing"
+    HASH = "hash"
+
+
+@dataclass
+class CryptoCostTracker:
+    """Accumulates simulated CPU time and op counts for one replica."""
+
+    machine: MachineProfile = field(default_factory=MachineProfile.paper_testbed)
+    counts: dict[CryptoOp, int] = field(default_factory=dict)
+    total_time: float = 0.0
+
+    def _charge(self, op: CryptoOp, cost: float, repeat: int = 1) -> float:
+        self.counts[op] = self.counts.get(op, 0) + repeat
+        elapsed = cost * repeat
+        self.total_time += elapsed
+        return elapsed
+
+    def sign(self) -> float:
+        """Cost of one conventional signature."""
+        return self._charge(CryptoOp.SIGN, self.machine.sign_cost)
+
+    def verify(self, count: int = 1) -> float:
+        """Cost of verifying ``count`` conventional signatures."""
+        return self._charge(CryptoOp.VERIFY, self.machine.verify_cost, count)
+
+    def share_sign(self) -> float:
+        """Cost of producing one threshold-signature share."""
+        return self._charge(CryptoOp.SHARE_SIGN, self.machine.share_sign_cost)
+
+    def share_verify(self, count: int = 1) -> float:
+        """Cost of verifying ``count`` shares."""
+        return self._charge(CryptoOp.SHARE_VERIFY, self.machine.share_verify_cost, count)
+
+    def combine(self, shares: int) -> float:
+        """Cost of combining ``shares`` shares into a threshold signature."""
+        return self._charge(CryptoOp.COMBINE, self.machine.combine_cost_per_share, shares)
+
+    def pairing(self, count: int = 1) -> float:
+        """Cost of ``count`` pairing evaluations (threshold-sig verification)."""
+        return self._charge(CryptoOp.PAIRING, self.machine.pairing_cost, count)
+
+    def hash_data(self, size_bytes: int) -> float:
+        """Cost of hashing ``size_bytes`` of data."""
+        self.counts[CryptoOp.HASH] = self.counts.get(CryptoOp.HASH, 0) + 1
+        elapsed = size_bytes * self.machine.hash_cost_per_byte
+        self.total_time += elapsed
+        return elapsed
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of operation counts keyed by op name (for reports)."""
+        return {op.value: count for op, count in sorted(self.counts.items(), key=lambda kv: kv[0].value)}
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.total_time = 0.0

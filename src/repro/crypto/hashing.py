@@ -1,0 +1,36 @@
+"""Collision-resistant hashing over canonical encodings.
+
+The paper assumes a collision-resistant hash ``h`` mapping arbitrary
+messages to fixed-length outputs; block parent links are such digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.common.encoding import encode
+
+DIGEST_SIZE = 32
+
+Digest = bytes
+"""A 32-byte SHA-256 digest."""
+
+
+def hash_bytes(data: bytes) -> Digest:
+    """SHA-256 of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_of(value: Any) -> Digest:
+    """SHA-256 of the canonical encoding of ``value``.
+
+    Because :func:`repro.common.encoding.encode` is deterministic, two
+    replicas computing ``digest_of`` over equal values always agree.
+    """
+    return hash_bytes(encode(value))
+
+
+def short_hex(digest: Digest, length: int = 8) -> str:
+    """First ``length`` hex characters of a digest, for logs and repr()s."""
+    return digest.hex()[:length]

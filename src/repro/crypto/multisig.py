@@ -1,0 +1,93 @@
+"""Quorum multi-signatures: a bundle of conventional signatures + bitmap.
+
+The paper notes (Introduction, Section III) that the *most efficient
+practical* instantiation of HotStuff's QCs is not a pairing-based threshold
+signature but simply a group of ``n - f`` conventional signatures.  This
+module provides that instantiation: a :class:`MultiSignature` is a set of
+per-replica signatures over one message, represented with a signer bitmap,
+and counts as ``len(signers)`` authenticators in the complexity accounting
+(unlike a combined threshold signature, which counts as one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError, InvalidSignature
+from repro.crypto.signatures import SIGNATURE_SIZE, Signature
+
+
+@dataclass(frozen=True)
+class MultiSignature:
+    """An aggregate of conventional signatures over a single message."""
+
+    signatures: tuple[tuple[int, Signature], ...]
+    group_size: int
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for signer, _ in self.signatures:
+            if not 0 <= signer < self.group_size:
+                raise CryptoError(f"signer {signer} outside group of {self.group_size}")
+            if signer in seen:
+                raise CryptoError(f"duplicate signer {signer} in multi-signature")
+            seen.add(signer)
+
+    @property
+    def signers(self) -> frozenset[int]:
+        return frozenset(signer for signer, _ in self.signatures)
+
+    @property
+    def num_authenticators(self) -> int:
+        """Complexity accounting: one authenticator per constituent signature."""
+        return len(self.signatures)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: signatures plus an n-bit signer bitmap."""
+        bitmap_bytes = (self.group_size + 7) // 8
+        return len(self.signatures) * SIGNATURE_SIZE + bitmap_bytes
+
+
+class MultiSigAccumulator:
+    """Collects per-replica signatures until a quorum is reached.
+
+    The caller is responsible for having verified each signature before
+    adding it (or for verifying the finished bundle); the accumulator only
+    deduplicates and counts.
+    """
+
+    def __init__(self, group_size: int, quorum: int) -> None:
+        if not 1 <= quorum <= group_size:
+            raise CryptoError(f"need 1 <= quorum <= n, got quorum={quorum}, n={group_size}")
+        self._group_size = group_size
+        self._quorum = quorum
+        self._collected: dict[int, Signature] = {}
+
+    def add(self, signer: int, signature: Signature) -> bool:
+        """Record a signature; returns True once the quorum is reached.
+
+        A second signature from the same signer is ignored (first wins),
+        matching how BFT vote collectors treat equivocating duplicates.
+        """
+        if not 0 <= signer < self._group_size:
+            raise CryptoError(f"signer {signer} outside group of {self._group_size}")
+        self._collected.setdefault(signer, signature)
+        return self.complete
+
+    @property
+    def count(self) -> int:
+        return len(self._collected)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._collected) >= self._quorum
+
+    def finish(self) -> MultiSignature:
+        """Build the quorum bundle; raises if the quorum is not yet met."""
+        if not self.complete:
+            raise InvalidSignature(
+                f"only {self.count} of {self._quorum} required signatures collected"
+            )
+        items = tuple(sorted(self._collected.items()))[: self._quorum]
+        return MultiSignature(signatures=items, group_size=self._group_size)

@@ -1,0 +1,107 @@
+"""Simulated conventional signatures (ECDSA stand-in).
+
+A :class:`SigningKey` is 32 bytes of secret material; the matching
+:class:`VerifyKey` is its SHA-256 commitment.  A signature over message
+``m`` is ``HMAC-SHA256(secret, m)`` plus the verify-key commitment, padded
+to 64 bytes so wire sizes match real ECDSA.  Verification recomputes the
+HMAC — which requires the secret — so the scheme is *simulated*: in this
+library verification happens through a :class:`repro.crypto.keys.KeyRegistry`
+that holds every replica's secret, standing in for public-key verification.
+
+The simulation preserves what the protocols need:
+
+* only the holder of ``SigningKey(i)`` can produce a signature that
+  verifies under ``VerifyKey(i)`` (HMAC unforgeability);
+* signatures bind signer, message, and nothing else;
+* sizes and the sign/verify API mirror ECDSA, so the simulator's cost
+  model (`MachineProfile.sign_cost` / ``verify_cost``) applies directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError, InvalidSignature
+
+SIGNATURE_SIZE = 64
+_MAC_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A 64-byte signature: 32-byte HMAC || 32-byte key commitment."""
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.data) != SIGNATURE_SIZE:
+            raise CryptoError(f"signature must be {SIGNATURE_SIZE} bytes, got {len(self.data)}")
+
+    @property
+    def mac(self) -> bytes:
+        return self.data[:_MAC_SIZE]
+
+    @property
+    def key_commitment(self) -> bytes:
+        return self.data[_MAC_SIZE:]
+
+    def __repr__(self) -> str:
+        return f"Signature({self.data.hex()[:12]}...)"
+
+
+@dataclass(frozen=True)
+class VerifyKey:
+    """Public commitment to a signing key."""
+
+    commitment: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.commitment) != 32:
+            raise CryptoError("verify key commitment must be 32 bytes")
+
+    def matches(self, signature: Signature) -> bool:
+        """Check that ``signature`` claims to come from this key."""
+        return hmac.compare_digest(signature.key_commitment, self.commitment)
+
+    def __repr__(self) -> str:
+        return f"VerifyKey({self.commitment.hex()[:12]}...)"
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """Secret signing key; derive with :meth:`generate` or from a seed."""
+
+    secret: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.secret) != 32:
+            raise CryptoError("signing key secret must be 32 bytes")
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str) -> "SigningKey":
+        """Deterministically derive a key from arbitrary seed material."""
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        return cls(hashlib.sha256(b"repro-signing-key:" + seed).digest())
+
+    def verify_key(self) -> VerifyKey:
+        return VerifyKey(hashlib.sha256(b"repro-verify-key:" + self.secret).digest())
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message``; deterministic, like RFC 6979 ECDSA."""
+        mac = hmac.new(self.secret, message, hashlib.sha256).digest()
+        return Signature(mac + self.verify_key().commitment)
+
+    def verify(self, message: bytes, signature: Signature) -> None:
+        """Verify ``signature`` over ``message``; raises on failure.
+
+        Only the key holder (or the registry) can run this — see module
+        docstring for why that is an acceptable simulation.
+        """
+        if not self.verify_key().matches(signature):
+            raise InvalidSignature("signature was made under a different key")
+        expected = hmac.new(self.secret, message, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, signature.mac):
+            raise InvalidSignature("signature does not match message")

@@ -1,0 +1,198 @@
+"""Failure and adversary injection for DES experiments.
+
+Crash faults are built into :class:`~repro.harness.des_runtime.DESCluster`
+(``crash_at``).  This module adds *Byzantine* behaviours by interposing on
+a replica's outbound traffic — the replica still runs correct code, but
+its messages are dropped, delayed, mutated or equivocated on the wire,
+which is exactly the power the BFT adversary has over a compromised node
+(we never need the compromised node to be "cleverly" malicious; the test
+suites construct targeted attacks by hand where needed).
+
+Strategies:
+
+* :class:`SilentAfter` — stop sending anything after a set time (a crash
+  the failure detector cannot distinguish from slowness);
+* :class:`VoteWithholder` — suppress all votes (a liveness attack: the
+  quorum must be reachable without this replica);
+* :class:`Equivocator` — as leader, send *different* blocks to different
+  halves of the cluster at the same height (the classic safety attack —
+  the auditor must never trip);
+* :class:`Delayer` — hold every outbound message for a fixed time;
+* :class:`QCHider` — strip the justify from VIEW-CHANGE messages down to
+  the genesis QC, hiding this replica's knowledge (Fig. 2's ``p4``).
+
+Also here: :func:`fuzz_schedule`, a seeded random-adversity runner used
+by the fuzz tests — random crashes, partitions and heals over a run, with
+safety asserted throughout and progress asserted whenever the surviving
+configuration permits it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.consensus.messages import PhaseMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.qc import Phase
+
+Send = Callable[[int, Any], None]
+
+
+class Strategy:
+    """Base class: decide what actually goes on the wire."""
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        send(dst, payload)
+
+
+class SilentAfter(Strategy):
+    def __init__(self, after: float) -> None:
+        self.after = after
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if now < self.after:
+            send(dst, payload)
+
+
+class VoteWithholder(Strategy):
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if not isinstance(payload, VoteMsg):
+            send(dst, payload)
+
+
+class Delayer(Strategy):
+    def __init__(self, cluster: "Any", delay: float) -> None:
+        self.cluster = cluster
+        self.delay = delay
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        self.cluster.sim.schedule(self.delay, lambda: send(dst, payload))
+
+
+class Equivocator(Strategy):
+    """Send a conflicting sibling block to the upper half of the cluster."""
+
+    def __init__(self, num_replicas: int) -> None:
+        self.num_replicas = num_replicas
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if (
+            isinstance(payload, PhaseMsg)
+            and payload.phase == Phase.PREPARE
+            and payload.block is not None
+            and dst >= self.num_replicas // 2
+        ):
+            from dataclasses import replace
+
+            sibling = replace(payload.block, proposer=payload.block.proposer + 100)
+            send(dst, PhaseMsg(phase=payload.phase, view=payload.view, justify=payload.justify, block=sibling))
+        else:
+            send(dst, payload)
+
+
+class QCHider(Strategy):
+    """Claim ignorance in view changes: ship the genesis QC as justify."""
+
+    def __init__(self, genesis_justify: Any) -> None:
+        self.genesis_justify = genesis_justify
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if isinstance(payload, ViewChangeMsg):
+            send(
+                dst,
+                ViewChangeMsg(
+                    view=payload.view,
+                    last_voted=payload.last_voted,
+                    justify=self.genesis_justify,
+                    share=payload.share,
+                ),
+            )
+        else:
+            send(dst, payload)
+
+
+def make_byzantine(cluster: "Any", replica_id: int, strategy: Strategy) -> None:
+    """Interpose ``strategy`` on every outbound message of ``replica_id``."""
+    ctx = cluster.replicas[replica_id].ctx
+    original_send = ctx.send
+
+    def intercepted(dst: int, payload: Any) -> None:
+        strategy.outbound(cluster.sim.now, dst, payload, original_send)
+
+    ctx.send = intercepted  # type: ignore[method-assign]
+
+
+# ---------------------------------------------------------------------------
+# Random-adversity fuzzing
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzed run."""
+
+    seed: int
+    protocol: str
+    events: list[str] = field(default_factory=list)
+    committed_heights: list[int] = field(default_factory=list)
+    max_view: int = 0
+    ops_committed: int = 0
+    safety_ok: bool = False
+
+
+def fuzz_schedule(
+    seed: int,
+    protocol: str = "marlin",
+    f: int = 1,
+    sim_time: float = 30.0,
+    crypto_mode: str = "null",
+) -> FuzzReport:
+    """Run one randomly-adversarial schedule and audit safety.
+
+    The adversary (seeded RNG) may: crash up to ``f`` replicas, partition
+    and heal the network, and add transient link latency.  Safety is
+    asserted continuously by the commit auditor; the report carries what
+    happened so callers can decide which liveness expectations apply.
+    """
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.workload import ClosedLoopClients
+
+    rng = random.Random(seed)
+    experiment = ExperimentConfig(
+        cluster=ClusterConfig.for_f(f, batch_size=500, base_timeout=0.5),
+        seed=seed,
+    )
+    cluster = DESCluster(experiment, protocol=protocol, crypto_mode=crypto_mode)
+    pool = ClosedLoopClients(cluster, num_clients=24, token_weight=1, target="all")
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+
+    report = FuzzReport(seed=seed, protocol=protocol)
+    n = experiment.cluster.num_replicas
+    crashes = rng.sample(range(n), k=rng.randint(0, f))
+    for victim in crashes:
+        when = rng.uniform(1.0, sim_time / 2)
+        cluster.crash_at(victim, when)
+        report.events.append(f"crash r{victim} @ {when:.2f}s")
+
+    for _ in range(rng.randint(0, 3)):
+        start = rng.uniform(1.0, sim_time * 0.6)
+        duration = rng.uniform(0.5, 3.0)
+        group = rng.sample(range(n), k=rng.randint(1, max(1, f)))
+        rest = [i for i in range(n) if i not in group]
+
+        def cut(group=list(group), rest=list(rest)) -> None:
+            cluster.network.partition(group, rest)
+
+        cluster.sim.schedule_at(start, cut)
+        cluster.sim.schedule_at(start + duration, cluster.network.heal_all)
+        report.events.append(f"partition {group} for {duration:.2f}s @ {start:.2f}s")
+
+    cluster.run(until=sim_time)
+    cluster.assert_safety()
+    report.safety_ok = True
+    report.committed_heights = cluster.committed_heights()
+    report.max_view = max(r.cview for r in cluster.replicas)
+    report.ops_committed = cluster.total_ops_committed()
+    return report

@@ -1,0 +1,70 @@
+"""Cross-replica safety auditing.
+
+The paper's safety theorem (Theorem 1): no two correct replicas commit
+conflicting blocks.  :class:`CommitAuditor` observes every commit in an
+experiment and checks the equivalent operational statement — at each
+height, all replicas commit the same block digest, and each replica's
+committed sequence has strictly increasing heights.  Every DES experiment
+and every adversarial test runs with the auditor armed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import SafetyViolation
+from repro.consensus.block import Block
+
+
+class CommitAuditor:
+    """Collects (replica, height, digest) commit records and cross-checks."""
+
+    def __init__(self, num_replicas: int) -> None:
+        self._num_replicas = num_replicas
+        self._by_height: dict[int, bytes] = {}
+        self._first_committer: dict[int, int] = {}
+        self._last_height: dict[int, int] = {}
+        self.commits: list[tuple[int, int, bytes, float]] = []
+
+    def listener_for(self, replica_id: int) -> Callable[[Block, float], None]:
+        def listener(block: Block, when: float) -> None:
+            self.observe(replica_id, block, when)
+
+        return listener
+
+    def observe(self, replica_id: int, block: Block, when: float) -> None:
+        height = block.height
+        digest = block.digest
+        self.commits.append((replica_id, height, digest, when))
+        previous = self._last_height.get(replica_id, 0)
+        if height <= previous:
+            raise SafetyViolation(
+                f"replica {replica_id} committed height {height} after {previous}"
+            )
+        self._last_height[replica_id] = height
+        existing = self._by_height.get(height)
+        if existing is None:
+            self._by_height[height] = digest
+            self._first_committer[height] = replica_id
+        elif existing != digest:
+            raise SafetyViolation(
+                f"conflicting commits at height {height}: replica "
+                f"{self._first_committer[height]} vs replica {replica_id}"
+            )
+
+    def check(self) -> None:
+        """Re-validate the whole record (also raised eagerly in observe)."""
+        seen: dict[int, bytes] = {}
+        for replica_id, height, digest, _ in self.commits:
+            existing = seen.get(height)
+            if existing is not None and existing != digest:
+                raise SafetyViolation(f"conflicting commits at height {height}")
+            seen[height] = digest
+
+    @property
+    def max_committed_height(self) -> int:
+        return max(self._by_height, default=0)
+
+    def commits_by_replica(self, replica_id: int) -> list[int]:
+        """Heights committed by one replica, in commit order."""
+        return [h for rid, h, _, _ in self.commits if rid == replica_id]

@@ -1,0 +1,109 @@
+"""Latency and throughput instrumentation.
+
+Both recorders support a measurement window so warm-up (pipeline filling,
+view-1 bootstrap) is excluded, matching standard evaluation methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.utils import mean, percentile
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects (timestamp, latency, weight) samples."""
+
+    window_start: float = 0.0
+    window_end: float = float("inf")
+    samples: list[tuple[float, float, int]] = field(default_factory=list)
+
+    def record(self, when: float, latency: float, weight: int = 1) -> None:
+        if self.window_start <= when <= self.window_end:
+            self.samples.append((when, latency, weight))
+
+    def _expanded(self) -> list[float]:
+        # Weighted percentile without materialising per-tx entries: repeat
+        # each sample min(weight, cap) times to bound memory.
+        out: list[float] = []
+        for _, latency, weight in self.samples:
+            out.extend([latency] * min(weight, 32))
+        return out
+
+    @property
+    def count(self) -> int:
+        return sum(w for _, _, w in self.samples)
+
+    def mean(self) -> float:
+        total_weight = self.count
+        if total_weight == 0:
+            return 0.0
+        return sum(lat * w for _, lat, w in self.samples) / total_weight
+
+    def p50(self) -> float:
+        return percentile(self._expanded(), 50.0)
+
+    def p99(self) -> float:
+        return percentile(self._expanded(), 99.0)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts weighted operations committed inside a window."""
+
+    window_start: float = 0.0
+    window_end: float = float("inf")
+    ops: int = 0
+    first_event: float | None = None
+    last_event: float | None = None
+
+    def record(self, when: float, num_ops: int) -> None:
+        if not self.window_start <= when <= self.window_end:
+            return
+        self.ops += num_ops
+        if self.first_event is None:
+            self.first_event = when
+        self.last_event = when
+
+    def throughput(self, duration: float | None = None) -> float:
+        """Operations per second over the window (or supplied duration)."""
+        if duration is None:
+            if self.first_event is None or self.last_event is None:
+                return 0.0
+            duration = self.last_event - self.first_event
+        if duration <= 0:
+            return 0.0
+        return self.ops / duration
+
+
+@dataclass
+class RunResult:
+    """One (offered load, measured) point of a throughput/latency sweep."""
+
+    clients: int
+    throughput_tps: float
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+    blocks_committed: int
+    sim_time: float
+
+    def as_row(self) -> str:
+        return (
+            f"clients={self.clients:>7d}  tput={self.throughput_tps / 1000:8.2f} ktx/s  "
+            f"lat(mean)={self.mean_latency * 1000:7.1f} ms  "
+            f"lat(p99)={self.p99_latency * 1000:7.1f} ms  blocks={self.blocks_committed}"
+        )
+
+
+def summarise(values: list[float]) -> dict[str, float]:
+    """Mean/median/p99 of a plain float list (utility for benches)."""
+    return {
+        "mean": mean(values),
+        "p50": percentile(values, 50.0),
+        "p99": percentile(values, 99.0),
+    }

@@ -1,0 +1,114 @@
+"""Result persistence and regression comparison.
+
+Experiments produce scalar metrics (peak throughput per f, view-change
+latencies, complexity counts).  :class:`ResultStore` writes them to a
+JSON file with run metadata; :func:`compare` diffs two stores with a
+relative tolerance and reports regressions — the tool behind
+``python -m repro peak --save ...`` / ``python -m repro compare``.
+
+The format is flat on purpose: a mapping from dotted metric names
+(``"fig10g.marlin.f3"``) to numbers, so diffs stay trivial and files stay
+greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Delta:
+    """One metric's change between two stores."""
+
+    name: str
+    before: float | None
+    after: float | None
+
+    @property
+    def kind(self) -> str:
+        if self.before is None:
+            return "added"
+        if self.after is None:
+            return "removed"
+        return "changed"
+
+    @property
+    def relative(self) -> float | None:
+        if self.before in (None, 0) or self.after is None:
+            return None
+        return (self.after - self.before) / abs(self.before)
+
+    def render(self) -> str:
+        if self.kind == "added":
+            return f"+ {self.name} = {self.after:g} (new)"
+        if self.kind == "removed":
+            return f"- {self.name} (was {self.before:g})"
+        rel = self.relative
+        pct = f" ({rel * 100:+.1f}%)" if rel is not None else ""
+        return f"~ {self.name}: {self.before:g} -> {self.after:g}{pct}"
+
+
+@dataclass
+class ResultStore:
+    """A named bag of scalar metrics, serialisable to JSON."""
+
+    metrics: dict[str, float] = field(default_factory=dict)
+    meta: dict[str, str] = field(default_factory=dict)
+
+    def record(self, name: str, value: float) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError("metric names must be non-empty strings")
+        self.metrics[name] = float(value)
+
+    def record_many(self, prefix: str, values: dict) -> None:
+        for key, value in values.items():
+            self.record(f"{prefix}.{key}", value)
+
+    def save(self, path: str) -> None:
+        payload = {"meta": self.meta, "metrics": self.metrics}
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "ResultStore":
+        with open(path) as fh:
+            payload = json.load(fh)
+        store = cls()
+        store.meta = dict(payload.get("meta", {}))
+        store.metrics = {k: float(v) for k, v in payload.get("metrics", {}).items()}
+        return store
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+
+def diff(before: ResultStore, after: ResultStore) -> Iterator[Delta]:
+    """Yield every metric difference, in name order."""
+    names = sorted(set(before.metrics) | set(after.metrics))
+    for name in names:
+        b = before.metrics.get(name)
+        a = after.metrics.get(name)
+        if b != a:
+            yield Delta(name=name, before=b, after=a)
+
+
+def compare(before: ResultStore, after: ResultStore, tolerance: float = 0.05) -> list[Delta]:
+    """Return deltas whose relative change exceeds ``tolerance``.
+
+    Additions/removals always count.  The returned list being empty means
+    "no regression beyond tolerance".
+    """
+    significant = []
+    for delta in diff(before, after):
+        if delta.kind != "changed":
+            significant.append(delta)
+            continue
+        rel = delta.relative
+        if rel is None or abs(rel) > tolerance:
+            significant.append(delta)
+    return significant

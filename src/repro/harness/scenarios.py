@@ -1,0 +1,469 @@
+"""Canned experiments, one per figure in the paper's evaluation.
+
+Each function builds a fresh :class:`~repro.harness.des_runtime.DESCluster`
+with the paper's testbed parameters (40 ms injected latency, 200 Mbps
+shaped links, 1 Gbps NICs, 16-core machines, LevelDB-style persistence),
+runs the workload, audits safety, and returns plain data the benchmark
+modules format into paper-versus-measured tables.
+
+Crypto note: throughput scenarios run the ``null`` crypto service (exact
+quorum logic, no arithmetic) with the **threshold** cost model charging
+simulated CPU — the protocols behave identically, the simulation just
+avoids Python big-int work.  Logic and adversarial tests elsewhere use
+the real threshold scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.harness.des_runtime import DESCluster
+from repro.harness.metrics import RunResult
+from repro.harness.workload import ClosedLoopClients
+
+DEFAULT_MAX_BATCH = 30000
+"""Natural batching cap (weighted ops per block).
+
+Large enough that bandwidth, not the cap, bounds saturation throughput,
+yet small enough that a saturated leader keeps several blocks in flight
+rather than sweeping the whole client population into one lockstep block.
+"""
+
+LATENCY_CAP = 1.0
+"""Peak-throughput methodology: the paper's Fig. 10a-f curves end near
+1000 ms; "peak" is the throughput reached at this latency."""
+
+
+def _experiment(f: int, seed: int = 0, batch: int | None = None, **cluster_kwargs) -> ExperimentConfig:
+    cluster = ClusterConfig.for_f(
+        f, batch_size=batch if batch is not None else DEFAULT_MAX_BATCH, **cluster_kwargs
+    )
+    return ExperimentConfig(cluster=cluster, seed=seed)
+
+
+def _token_weight(clients: int, max_tokens: int = 384) -> int:
+    return max(1, clients // max_tokens)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10a-10f: throughput vs latency
+
+
+def run_load_point(
+    protocol: str,
+    f: int,
+    clients: int,
+    sim_time: float = 22.0,
+    warmup: float = 7.0,
+    request_size: int = 150,
+    reply_size: int = 150,
+    seed: int = 1,
+) -> RunResult:
+    """One closed-loop load point for one protocol at one cluster size.
+
+    Failure-free methodology: the view timer is set far above any block
+    interval so the stable leader is never deposed mid-measurement (the
+    paper's throughput experiments are failure-free; view changes are
+    measured separately in Fig. 10i/10j).
+    """
+    experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
+    cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
+    clients_pool = ClosedLoopClients(
+        cluster,
+        num_clients=clients,
+        request_size=request_size,
+        reply_size=reply_size,
+        token_weight=_token_weight(clients),
+        target="leader",
+        warmup=warmup,
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, clients_pool.start)
+    cluster.run(until=sim_time)
+    cluster.assert_safety()
+    summary = clients_pool.summary()
+    duration = sim_time - warmup
+    return RunResult(
+        clients=clients,
+        throughput_tps=clients_pool.throughput.throughput(duration=duration),
+        mean_latency=summary["mean_latency"],
+        p50_latency=summary["p50_latency"],
+        p99_latency=summary["p99_latency"],
+        blocks_committed=max(r.stats["blocks_committed"] for r in cluster.replicas),
+        sim_time=sim_time,
+    )
+
+
+def throughput_latency_curve(
+    protocol: str,
+    f: int,
+    client_counts: list[int],
+    latency_cap: float = LATENCY_CAP,
+    **kwargs,
+) -> list[RunResult]:
+    """Sweep the client population, stopping once latency exceeds the cap.
+
+    The paper's Fig. 10a-f plots stop around 1000 ms; the sweep keeps the
+    first point past the cap so the cap crossing can be interpolated.
+    """
+    results: list[RunResult] = []
+    for clients in client_counts:
+        point = run_load_point(protocol, f, clients, **kwargs)
+        results.append(point)
+        if point.mean_latency > latency_cap:
+            break
+    return results
+
+
+def peak_at_latency_cap(curve: list[RunResult], latency_cap: float = LATENCY_CAP) -> float:
+    """Throughput (tx/s) where the curve crosses ``latency_cap``.
+
+    Linear interpolation between the last point under the cap and the
+    first point over it makes the figure grid-independent; if the whole
+    curve sits under the cap the last point's throughput is returned.
+    """
+    under = [p for p in curve if p.mean_latency <= latency_cap and p.throughput_tps > 0]
+    over = [p for p in curve if p.mean_latency > latency_cap]
+    if not under:
+        return 0.0
+    last = max(under, key=lambda p: p.mean_latency)
+    if not over:
+        return max(p.throughput_tps for p in under)
+    first_over = min(over, key=lambda p: p.mean_latency)
+    span = first_over.mean_latency - last.mean_latency
+    if span <= 0:
+        return last.throughput_tps
+    fraction = (latency_cap - last.mean_latency) / span
+    interpolated = last.throughput_tps + fraction * (
+        first_over.throughput_tps - last.throughput_tps
+    )
+    return max(interpolated, max(p.throughput_tps for p in under))
+
+
+def peak_throughput(
+    protocol: str,
+    f: int,
+    client_counts: list[int] | None = None,
+    latency_cap: float = LATENCY_CAP,
+    **kwargs,
+) -> tuple[float, list[RunResult]]:
+    """Peak throughput (Fig. 10g/10h methodology) plus the raw curve."""
+    if client_counts is None:
+        client_counts = default_client_sweep(f)
+    curve = throughput_latency_curve(protocol, f, client_counts, latency_cap, **kwargs)
+    return peak_at_latency_cap(curve, latency_cap), curve
+
+
+def default_client_sweep(f: int) -> list[int]:
+    """A geometric client sweep sized to the cluster's expected capacity."""
+    if f <= 1:
+        return [1024, 4096, 16384, 32768, 65536, 98304, 131072]
+    if f <= 3:
+        return [1024, 4096, 16384, 32768, 65536, 98304]
+    if f <= 5:
+        return [512, 2048, 8192, 16384, 32768, 49152]
+    if f <= 10:
+        return [512, 2048, 8192, 16384, 24576]
+    return [256, 1024, 4096, 8192, 16384]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10i: view-change latency
+
+
+@dataclass
+class ViewChangeResult:
+    """Timing of one leader-crash view change."""
+
+    protocol: str
+    f: int
+    path: str  # "happy", "unhappy", or "hotstuff"
+    vc_start: float
+    first_commit: float
+    views_crossed: int
+
+    @property
+    def latency(self) -> float:
+        return self.first_commit - self.vc_start
+
+
+def view_change_latency(
+    protocol: str,
+    f: int,
+    force_unhappy: bool = False,
+    seed: int = 3,
+    crash_time: float = 3.0,
+) -> ViewChangeResult:
+    """Crash the leader and time view-change-start to first commit.
+
+    Matches the paper's measurement: "from the point when a replica
+    starts the view change to the point when the first block is
+    committed after the view change".
+    """
+    experiment = _experiment(f, seed=seed, batch=4000, base_timeout=0.5)
+    cluster = DESCluster(
+        experiment, protocol=protocol, crypto_mode="null", force_unhappy=force_unhappy
+    )
+    pool = ClosedLoopClients(
+        cluster, num_clients=64, token_weight=1, target="all", warmup=0.0
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    cluster.crash_at(0, crash_time)  # replica 0 leads view 1
+    deadline = crash_time + 30.0
+    cluster.run_until(
+        lambda: any(
+            r.cview >= 2 and r.ledger.num_committed_blocks > 0
+            and any(
+                when > crash_time and rid != 0
+                for rid, _, _, when in cluster.auditor.commits
+            )
+            for r in cluster.replicas[1:]
+        ),
+        deadline,
+    )
+    cluster.assert_safety()
+    alive = cluster.replicas[1:]
+    vc_start = min(r.view_entered_at for r in alive if r.cview >= 2)
+    post = [when for rid, _, _, when in cluster.auditor.commits if when > vc_start and rid != 0]
+    if not post:
+        raise RuntimeError(f"{protocol} never committed after the view change")
+    first_commit = min(post)
+    views = max(r.cview for r in alive)
+    path = "hotstuff" if protocol == "hotstuff" else ("unhappy" if force_unhappy else "happy")
+    return ViewChangeResult(
+        protocol=protocol,
+        f=f,
+        path=path,
+        vc_start=vc_start,
+        first_commit=first_commit,
+        views_crossed=views - 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10j: rotating leaders under crash failures
+
+
+def rotating_leader_throughput(
+    protocol: str,
+    f: int = 3,
+    crashed: int = 0,
+    clients: int = 8192,
+    rotation_interval: float = 1.0,
+    sim_time: float = 25.0,
+    warmup: float = 5.0,
+    seed: int = 4,
+    batch: int = 8000,
+) -> RunResult:
+    """Peak throughput with periodic leader rotation and crashed replicas.
+
+    Following the paper: rotate leaders on a 1 s timer (Spinning-style)
+    and crash ``crashed`` replicas at the start of the run.  Batches are
+    capped lower than in the stable-leader experiments so a view change
+    plus several commits fit comfortably inside one rotation period.
+    """
+    experiment = _experiment(f, seed=seed, batch=batch)
+    cluster = DESCluster(
+        experiment,
+        protocol=protocol,
+        crypto_mode="null",
+        rotation_interval=rotation_interval,
+        forward_requests=False,
+    )
+    pool = ClosedLoopClients(
+        cluster,
+        num_clients=clients,
+        token_weight=_token_weight(clients),
+        target="all",
+        warmup=warmup,
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    # Crash the last `crashed` replicas so view 1's leader (replica 0)
+    # still boots the system, mirroring "crash at the beginning".
+    for index in range(crashed):
+        cluster.crash_at(experiment.cluster.num_replicas - 1 - index, 0.2)
+    cluster.run(until=sim_time)
+    cluster.assert_safety()
+    summary = pool.summary()
+    return RunResult(
+        clients=clients,
+        throughput_tps=pool.throughput.throughput(duration=sim_time - warmup),
+        mean_latency=summary["mean_latency"],
+        p50_latency=summary["p50_latency"],
+        p99_latency=summary["p99_latency"],
+        blocks_committed=max(r.stats["blocks_committed"] for r in cluster.replicas),
+        sim_time=sim_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Normal-case message complexity (per committed block)
+
+
+@dataclass
+class NormalCaseCost:
+    """Measured steady-state cost per committed block."""
+
+    protocol: str
+    f: int
+    n: int
+    blocks: int
+    messages_per_block: float
+    bytes_per_block: float
+    authenticators_per_block: float
+
+
+def measure_normal_case_cost(
+    protocol: str, f: int = 1, seed: int = 6, sim_time: float = 12.0, warmup: float = 4.0
+) -> NormalCaseCost:
+    """Count protocol messages per committed block at steady state.
+
+    Client request/reply traffic is excluded; the counters cover the
+    consensus messages only, so event-driven Marlin should show ~4n per
+    block (prepare + commit broadcasts and votes), HotStuff ~6n, and the
+    chained variants ~2n.
+    """
+    from repro.consensus.messages import ClientRequestBatch, ReplyBatch
+    from repro.harness.analytical import authenticators_in
+
+    experiment = _experiment(f, seed=seed, batch=400, base_timeout=60.0)
+    cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
+    pool = ClosedLoopClients(cluster, num_clients=512, token_weight=4, warmup=warmup)
+    counters = {"messages": 0, "bytes": 0, "auth": 0, "blocks": 0, "armed": False}
+
+    def tap(envelope) -> None:
+        if not counters["armed"]:
+            return
+        if isinstance(envelope.payload, (ClientRequestBatch, ReplyBatch)):
+            return
+        counters["messages"] += 1
+        counters["bytes"] += envelope.size
+        counters["auth"] += authenticators_in(envelope.payload)
+
+    cluster.network.add_tap(tap)
+
+    def on_commit(block, when) -> None:
+        if counters["armed"] and block.operations:
+            counters["blocks"] += 1
+
+    cluster.replicas[1].commit_listeners.append(on_commit)
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    cluster.sim.schedule(warmup, lambda: counters.__setitem__("armed", True))
+    cluster.run(until=sim_time)
+    cluster.assert_safety()
+    blocks = max(counters["blocks"], 1)
+    return NormalCaseCost(
+        protocol=protocol,
+        f=f,
+        n=experiment.cluster.num_replicas,
+        blocks=counters["blocks"],
+        messages_per_block=counters["messages"] / blocks,
+        bytes_per_block=counters["bytes"] / blocks,
+        authenticators_per_block=counters["auth"] / blocks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table I: measured view-change cost
+
+
+@dataclass
+class ViewChangeCost:
+    """Measured communication/authenticator cost of one view change.
+
+    The ``vc_*`` fields count only the view-change-specific message
+    types (VIEW-CHANGE, PRE-PREPARE, aggregate new-view), isolating the
+    linear-vs-quadratic contrast from the normal-case traffic that also
+    falls inside the measurement window.
+    """
+
+    protocol: str
+    f: int
+    n: int
+    messages: int
+    bytes_total: int
+    authenticators: int
+    phases_to_commit: int
+    vc_messages: int = 0
+    vc_bytes: int = 0
+    vc_authenticators: int = 0
+
+
+def measure_view_change_cost(
+    protocol: str, f: int, force_unhappy: bool = False, seed: int = 5
+) -> ViewChangeCost:
+    """Count messages/bytes/authenticators of a leader-crash view change.
+
+    Traffic is measured from the moment the first correct replica enters
+    the new view until the first post-crash commit, using the network
+    tap; client request/reply traffic is excluded.
+    """
+    from repro.consensus.messages import (
+        AggregateNewView,
+        ClientRequestBatch,
+        PrePrepareMsg,
+        ReplyBatch,
+        ViewChangeMsg,
+    )
+    from repro.harness.analytical import authenticators_in
+
+    experiment = _experiment(f, seed=seed, batch=4000, base_timeout=0.5)
+    cluster = DESCluster(
+        experiment, protocol=protocol, crypto_mode="null", force_unhappy=force_unhappy
+    )
+    pool = ClosedLoopClients(cluster, num_clients=32, token_weight=1, target="all")
+    counters = {
+        "messages": 0, "bytes": 0, "auth": 0,
+        "vc_messages": 0, "vc_bytes": 0, "vc_auth": 0,
+        "armed": False,
+    }
+
+    def tap(envelope) -> None:
+        if not counters["armed"]:
+            return
+        if isinstance(envelope.payload, (ClientRequestBatch, ReplyBatch)):
+            return
+        counters["messages"] += 1
+        counters["bytes"] += envelope.size
+        auth = authenticators_in(envelope.payload)
+        counters["auth"] += auth
+        if isinstance(envelope.payload, (ViewChangeMsg, PrePrepareMsg, AggregateNewView)):
+            counters["vc_messages"] += 1
+            counters["vc_bytes"] += envelope.size
+            counters["vc_auth"] += auth
+
+    cluster.network.add_tap(tap)
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    crash_time = 3.0
+    cluster.crash_at(0, crash_time)
+    cluster.sim.schedule_at(crash_time, lambda: counters.__setitem__("armed", True))
+    cluster.run_until(
+        lambda: any(
+            when > crash_time and rid != 0 for rid, _, _, when in cluster.auditor.commits
+        ),
+        crash_time + 30.0,
+    )
+    cluster.assert_safety()
+    if protocol == "hotstuff":
+        phases = 3
+    elif force_unhappy:
+        phases = 3
+    else:
+        phases = 2
+    return ViewChangeCost(
+        protocol=protocol,
+        f=f,
+        n=experiment.cluster.num_replicas,
+        messages=counters["messages"],
+        bytes_total=counters["bytes"],
+        authenticators=counters["auth"],
+        phases_to_commit=phases,
+        vc_messages=counters["vc_messages"],
+        vc_bytes=counters["vc_bytes"],
+        vc_authenticators=counters["vc_auth"],
+    )

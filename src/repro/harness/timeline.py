@@ -1,0 +1,171 @@
+"""Protocol timelines: structured event traces from DES runs.
+
+A :class:`Timeline` taps the simulated network and the replicas' commit
+streams and produces a time-ordered, human-readable account of a run —
+the tool for debugging protocol behaviour and for documentation (the
+view-change anatomy example renders one).
+
+Events recorded per delivery: time, sender, receiver, message kind and a
+compact detail string (phase, view, heights).  Commit and view-change
+events come from replica listeners.  Rendering is plain text, one event
+per line, with optional filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.consensus.messages import (
+    AggregateNewView,
+    ClientRequestBatch,
+    PhaseMsg,
+    PrePrepareMsg,
+    ReplyBatch,
+    SyncRequest,
+    SyncResponse,
+    ViewChangeMsg,
+    VoteMsg,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry."""
+
+    time: float
+    kind: str
+    src: int
+    dst: int
+    detail: str
+
+    def render(self) -> str:
+        actor = f"r{self.src}" if self.src >= 0 else "-"
+        target = f"r{self.dst}" if self.dst >= 0 else "-"
+        return f"{self.time:9.4f}  {self.kind:<12} {actor:>4} -> {target:<4} {self.detail}"
+
+
+def describe(payload: Any) -> tuple[str, str]:
+    """(kind, detail) for any protocol payload."""
+    if isinstance(payload, PhaseMsg):
+        qc = payload.justify.qc
+        block = f" h={payload.block.height}" if payload.block is not None else ""
+        return (
+            payload.phase.value,
+            f"v={payload.view}{block} justify={qc.phase.value}@{qc.view}",
+        )
+    if isinstance(payload, VoteMsg):
+        attach = " +lockedQC" if payload.locked_qc is not None else ""
+        return (
+            f"vote:{payload.phase.value}",
+            f"v={payload.view} h={payload.block.height}"
+            f"{' virtual' if payload.block.is_virtual else ''}{attach}",
+        )
+    if isinstance(payload, PrePrepareMsg):
+        kinds = "+".join(
+            "virtual" if p.block.is_virtual else "normal" for p in payload.proposals
+        )
+        return ("pre-prepare", f"v={payload.view} proposals={kinds} shadow={payload.shadow}")
+    if isinstance(payload, ViewChangeMsg):
+        lb = f" lb_h={payload.last_voted.height}" if payload.last_voted else ""
+        return ("view-change", f"v={payload.view}{lb}")
+    if isinstance(payload, AggregateNewView):
+        return ("agg-new-view", f"v={payload.view} proofs={len(payload.proofs)}")
+    if isinstance(payload, SyncRequest):
+        return ("sync-req", f"{len(payload.digests)} digest(s)")
+    if isinstance(payload, SyncResponse):
+        return ("sync-resp", f"{len(payload.blocks)} block(s)")
+    if isinstance(payload, ClientRequestBatch):
+        return ("requests", f"{sum(op.weight for op in payload.operations)} ops")
+    if isinstance(payload, ReplyBatch):
+        return ("replies", f"{payload.num_ops} ops")
+    return (type(payload).__name__, "")
+
+
+class Timeline:
+    """Collects and renders the events of one DES run."""
+
+    def __init__(self, include_client_traffic: bool = False) -> None:
+        self.events: list[Event] = []
+        self.include_client_traffic = include_client_traffic
+
+    # -------------------------------------------------------------- wiring
+
+    def attach(self, cluster: Any) -> "Timeline":
+        """Tap a :class:`~repro.harness.des_runtime.DESCluster`."""
+        cluster.network.add_tap(self._on_delivery)
+        for replica in cluster.replicas:
+            self._watch_replica(cluster, replica)
+        return self
+
+    def _on_delivery(self, envelope: Any) -> None:
+        if not self.include_client_traffic and isinstance(
+            envelope.payload, (ClientRequestBatch, ReplyBatch)
+        ):
+            return
+        kind, detail = describe(envelope.payload)
+        self.events.append(
+            Event(
+                time=envelope.sent_at,
+                kind=kind,
+                src=envelope.src,
+                dst=envelope.dst,
+                detail=detail,
+            )
+        )
+
+    def _watch_replica(self, cluster: Any, replica: Any) -> None:
+        replica_id = replica.id
+
+        def on_commit(block: Any, when: float) -> None:
+            self.events.append(
+                Event(
+                    time=when,
+                    kind="COMMIT",
+                    src=replica_id,
+                    dst=replica_id,
+                    detail=f"h={block.height} ops={block.num_ops}"
+                    f"{' virtual' if block.is_virtual else ''}",
+                )
+            )
+
+        replica.commit_listeners.append(on_commit)
+
+    def record(self, time: float, kind: str, detail: str, actor: int = -1) -> None:
+        """Manually add an annotation event."""
+        self.events.append(Event(time=time, kind=kind, src=actor, dst=actor, detail=detail))
+
+    # ----------------------------------------------------------- rendering
+
+    def filtered(
+        self,
+        kinds: Iterable[str] | None = None,
+        start: float = 0.0,
+        end: float = float("inf"),
+        predicate: Callable[[Event], bool] | None = None,
+    ) -> list[Event]:
+        selected = []
+        kind_set = set(kinds) if kinds is not None else None
+        for event in sorted(self.events, key=lambda e: (e.time, e.src, e.dst)):
+            if not start <= event.time <= end:
+                continue
+            if kind_set is not None and event.kind not in kind_set:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return selected
+
+    def render(self, limit: int | None = None, **filter_kwargs) -> str:
+        events = self.filtered(**filter_kwargs)
+        if limit is not None:
+            events = events[:limit]
+        header = f"{'time':>9}  {'event':<12} {'from':>4}    {'to':<4} detail"
+        return "\n".join([header, "-" * len(header)] + [e.render() for e in events])
+
+    def counts(self) -> dict[str, int]:
+        """Event-kind histogram (useful for complexity assertions)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

@@ -1,0 +1,285 @@
+"""Workloads: the closed-loop client population of Section VI.
+
+:class:`ClosedLoopClients` models the paper's evaluation clients: a fixed
+population of ``num_clients`` logical clients, each with exactly one
+outstanding 150-byte request.  A request is acknowledged once ``f + 1``
+matching replica replies arrive; the client then immediately submits its
+next request.  Sweeping ``num_clients`` traces out the throughput-versus-
+latency curves of Fig. 10a-10f, and "no-op" workloads (``request_size =
+reply_size = 0``) reproduce Fig. 10h.
+
+Scaling device: clients are grouped into *tokens* of ``token_weight``
+clients that move in lockstep (one :class:`Operation` object of that
+weight).  Wire sizes, CPU costs and throughput all scale by the weight,
+so the simulated load equals the paper's while the event count stays
+tractable.  ``token_weight = 1`` recovers exact per-client simulation.
+
+The client population lives at one *hub* endpoint whose egress is
+unshaped (it stands for many machines); replicas answer with one
+aggregate :class:`~repro.consensus.messages.ReplyBatch` per committed
+block, whose wire size equals the sum of the individual replies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.consensus.block import Block, Operation
+from repro.consensus.messages import ClientRequestBatch, ReplyBatch
+from repro.consensus.replica_base import ReplicaBase
+from repro.harness.des_runtime import DESCluster
+from repro.harness.metrics import LatencyRecorder, ThroughputMeter
+
+
+def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
+    """Make ``replica`` send an aggregate ReplyBatch to the pool's hub on
+    every commit (shared by the open- and closed-loop generators)."""
+    hub_id = pool.hub_id
+    reply_size = pool.reply_size
+
+    def on_commit(block: Block, when: float) -> None:
+        if not block.operations:
+            return
+        batch = ReplyBatch(
+            replica=replica.id,
+            block_digest=block.digest,
+            op_keys=tuple(op.key() for op in block.operations),
+            num_ops=block.num_ops,
+            reply_size=reply_size,
+        )
+        replica.ctx.send(hub_id, batch)
+
+    replica.commit_listeners.append(on_commit)
+
+
+class OpenLoopClients:
+    """Open-loop (Poisson) load generator.
+
+    Where the closed-loop population throttles itself (Little's law), an
+    open-loop source submits at a fixed rate regardless of completions —
+    the standard way to expose saturation and queueing collapse.  Arrivals
+    are generated in small batches (one DES event per ``tick`` interval)
+    with exponential inter-arrival spacing *within* the tick, so per-op
+    arrival timestamps remain Poisson-faithful while the event count stays
+    bounded.
+
+    Latency is measured per operation from its (generated) arrival time to
+    the ``f + 1``-th replica reply, exactly like the closed-loop pool.
+    """
+
+    def __init__(
+        self,
+        cluster: "DESCluster",
+        rate_tps: float,
+        request_size: int | None = None,
+        reply_size: int | None = None,
+        token_weight: int = 1,
+        target: str = "leader",
+        warmup: float = 0.0,
+        tick: float = 0.02,
+    ) -> None:
+        if rate_tps <= 0:
+            raise ConfigError("rate must be positive")
+        if token_weight < 1:
+            raise ConfigError("token_weight must be >= 1")
+        if target not in ("leader", "all"):
+            raise ConfigError("target must be 'leader' or 'all'")
+        self.cluster = cluster
+        experiment = cluster.experiment
+        self.rate = rate_tps
+        self.request_size = experiment.request_size if request_size is None else request_size
+        self.reply_size = experiment.reply_size if reply_size is None else reply_size
+        self.token_weight = token_weight
+        self.target = target
+        self.tick = tick
+        self.hub_id = experiment.cluster.num_replicas
+        self.f = experiment.cluster.f
+
+        self.latency = LatencyRecorder(window_start=warmup)
+        self.throughput = ThroughputMeter(window_start=warmup)
+        self._submit_time: dict[tuple[int, int], float] = {}
+        self._acks: dict[tuple[int, int], set[int]] = {}
+        self._next_seq = 0
+        self._carry = 0.0
+        self._payload = b"x" * self.request_size
+        self.generated_ops = 0
+        self.acknowledged_ops = 0
+
+        cluster.network.register(self.hub_id, self._on_message)
+        cluster.network.set_unshaped(self.hub_id)
+        # Reuse the closed-loop reply plumbing.
+        for replica in cluster.replicas:
+            _attach_reply_sender(self, replica)
+
+    def start(self) -> None:
+        self._tick()
+
+    def _tick(self) -> None:
+        sim = self.cluster.sim
+        expected = self.rate * self.tick / self.token_weight + self._carry
+        count = int(expected)
+        self._carry = expected - count
+        ops: list[Operation] = []
+        for _ in range(count):
+            seq = self._next_seq
+            self._next_seq += 1
+            op = Operation(
+                client_id=1_000_000, sequence=seq, payload=self._payload,
+                weight=self.token_weight,
+            )
+            # Spread the arrival inside the tick (Poisson-ish spacing).
+            self._submit_time[op.key()] = sim.now + sim.rng.uniform(0.0, self.tick)
+            ops.append(op)
+            self.generated_ops += self.token_weight
+        if ops:
+            batch = ClientRequestBatch(operations=tuple(ops))
+            if self.target == "leader":
+                self.cluster.network.send(self.hub_id, self.cluster.leader_replica.id, batch)
+            else:
+                for replica_id in range(self.cluster.experiment.cluster.num_replicas):
+                    self.cluster.network.send(self.hub_id, replica_id, batch)
+        sim.schedule(self.tick, self._tick)
+
+    def _on_message(self, src: int, payload: Any) -> None:
+        if not isinstance(payload, ReplyBatch):
+            return
+        now = self.cluster.sim.now
+        for key in payload.op_keys:
+            submitted = self._submit_time.get(key)
+            if submitted is None:
+                continue
+            acks = self._acks.setdefault(key, set())
+            acks.add(payload.replica)
+            if len(acks) < self.f + 1:
+                continue
+            del self._submit_time[key]
+            del self._acks[key]
+            self.acknowledged_ops += self.token_weight
+            self.latency.record(now, now - submitted, weight=self.token_weight)
+            self.throughput.record(now, self.token_weight)
+
+    @property
+    def completed_ops(self) -> int:
+        """Ops acknowledged inside the measurement window."""
+        return self.throughput.ops
+
+    @property
+    def backlog_ops(self) -> int:
+        """Generated but not yet acknowledged (weighted)."""
+        return len(self._submit_time) * self.token_weight
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "throughput_tps": self.throughput.throughput(),
+            "mean_latency": self.latency.mean(),
+            "p50_latency": self.latency.p50(),
+            "p99_latency": self.latency.p99(),
+        }
+
+
+class ClosedLoopClients:
+    """Closed-loop client population attached to a :class:`DESCluster`."""
+
+    def __init__(
+        self,
+        cluster: DESCluster,
+        num_clients: int,
+        request_size: int | None = None,
+        reply_size: int | None = None,
+        token_weight: int = 1,
+        target: str = "leader",
+        warmup: float = 0.0,
+    ) -> None:
+        if num_clients < 1:
+            raise ConfigError("need at least one client")
+        if token_weight < 1:
+            raise ConfigError("token_weight must be >= 1")
+        if target not in ("leader", "all"):
+            raise ConfigError("target must be 'leader' or 'all'")
+        self.cluster = cluster
+        experiment = cluster.experiment
+        self.request_size = experiment.request_size if request_size is None else request_size
+        self.reply_size = experiment.reply_size if reply_size is None else reply_size
+        self.token_weight = token_weight
+        self.target = target
+        self.num_clients = num_clients
+        self.num_tokens = max(1, num_clients // token_weight)
+        self.hub_id = experiment.cluster.num_replicas
+        self.f = experiment.cluster.f
+
+        self.latency = LatencyRecorder(window_start=warmup)
+        self.throughput = ThroughputMeter(window_start=warmup)
+        self._submit_time: dict[tuple[int, int], float] = {}
+        self._acks: dict[tuple[int, int], set[int]] = {}
+        self._next_seq: dict[int, int] = {}
+        self._payload = b"x" * self.request_size
+
+        cluster.network.register(self.hub_id, self._on_message)
+        cluster.network.set_unshaped(self.hub_id)
+        for replica in cluster.replicas:
+            _attach_reply_sender(self, replica)
+
+    # ------------------------------------------------------------ plumbing
+
+
+    def start(self) -> None:
+        """Inject the initial window: one outstanding request per client."""
+        ops = [self._new_op(token) for token in range(self.num_tokens)]
+        self._submit(ops)
+
+    def _new_op(self, token: int) -> Operation:
+        seq = self._next_seq.get(token, 0)
+        self._next_seq[token] = seq + 1
+        op = Operation(
+            client_id=token, sequence=seq, payload=self._payload, weight=self.token_weight
+        )
+        self._submit_time[op.key()] = self.cluster.sim.now
+        return op
+
+    def _submit(self, ops: list[Operation]) -> None:
+        if not ops:
+            return
+        batch = ClientRequestBatch(operations=tuple(ops))
+        if self.target == "leader":
+            leader = self.cluster.leader_replica.id
+            self.cluster.network.send(self.hub_id, leader, batch)
+        else:
+            for replica_id in range(self.cluster.experiment.cluster.num_replicas):
+                self.cluster.network.send(self.hub_id, replica_id, batch)
+
+    # ------------------------------------------------------------- intake
+
+    def _on_message(self, src: int, payload: Any) -> None:
+        if not isinstance(payload, ReplyBatch):
+            return
+        now = self.cluster.sim.now
+        fresh: list[Operation] = []
+        for key in payload.op_keys:
+            submitted = self._submit_time.get(key)
+            if submitted is None:
+                continue  # already acknowledged and recycled
+            acks = self._acks.setdefault(key, set())
+            acks.add(payload.replica)
+            if len(acks) < self.f + 1:
+                continue
+            del self._submit_time[key]
+            del self._acks[key]
+            self.latency.record(now, now - submitted, weight=self.token_weight)
+            self.throughput.record(now, self.token_weight)
+            fresh.append(self._new_op(key[0]))
+        self._submit(fresh)
+
+    # ------------------------------------------------------------ readouts
+
+    @property
+    def completed_ops(self) -> int:
+        return self.throughput.ops
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "throughput_tps": self.throughput.throughput(),
+            "mean_latency": self.latency.mean(),
+            "p50_latency": self.latency.p50(),
+            "p99_latency": self.latency.p99(),
+        }

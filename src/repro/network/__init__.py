@@ -1,0 +1,18 @@
+"""Network substrate.
+
+Protocol cores are sans-io: they hand :class:`~repro.network.message.Envelope`
+objects to a transport and receive them back via a callback.  Two
+transports implement that contract:
+
+* :class:`~repro.network.simnet.SimNetwork` — the discrete-event network
+  used for every published figure (latency, bandwidth, jitter, loss,
+  partitions, per-link controls);
+* :class:`~repro.network.asyncio_net.AsyncioNetwork` — a real concurrent
+  transport (in-process queues or TCP) used by the runtime and examples.
+"""
+
+from repro.network.message import Envelope, WireSizer
+from repro.network.simnet import LinkState, SimNetwork
+from repro.network.transport import Transport
+
+__all__ = ["Envelope", "LinkState", "SimNetwork", "Transport", "WireSizer"]

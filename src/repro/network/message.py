@@ -1,0 +1,67 @@
+"""Wire envelopes and message sizing.
+
+An :class:`Envelope` is what travels on a transport: source, destination,
+an opaque payload object, and the payload's wire size in bytes.  The DES
+does not serialise payloads (Python objects pass by reference for speed);
+instead a :class:`WireSizer` computes the byte size each payload *would*
+have on the wire, which feeds the bandwidth model and the communication-
+complexity accounting for Table I.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_envelope_ids = itertools.count()
+
+HEADER_SIZE = 48
+"""Fixed per-message overhead: type tag, view, sender, lengths, MAC."""
+
+
+@dataclass
+class Envelope:
+    """One message in flight between two endpoints."""
+
+    src: int
+    dst: int
+    payload: Any
+    size: int
+    sent_at: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_envelope_ids))
+
+    def __repr__(self) -> str:
+        kind = type(self.payload).__name__
+        return f"Envelope({self.src}->{self.dst}, {kind}, {self.size}B)"
+
+
+class WireSizer:
+    """Computes wire sizes for payload types.
+
+    Register a sizing function per payload type; unknown types fall back
+    to a fixed default.  Consensus messages register themselves in
+    :mod:`repro.consensus.messages`.
+    """
+
+    def __init__(self, default_size: int = 256) -> None:
+        self._default = default_size
+        self._sizers: dict[type, Callable[[Any], int]] = {}
+
+    def register(self, payload_type: type, sizer: Callable[[Any], int]) -> None:
+        self._sizers[payload_type] = sizer
+
+    def size_of(self, payload: Any) -> int:
+        """Wire size of ``payload`` in bytes, including the header.
+
+        Payloads may also expose their own ``wire_size`` attribute or
+        method, which takes precedence over registered sizers.
+        """
+        wire_size = getattr(payload, "wire_size", None)
+        if wire_size is not None:
+            value = wire_size() if callable(wire_size) else wire_size
+            return HEADER_SIZE + int(value)
+        sizer = self._sizers.get(type(payload))
+        if sizer is not None:
+            return HEADER_SIZE + sizer(payload)
+        return HEADER_SIZE + self._default

@@ -1,0 +1,182 @@
+"""The discrete-event simulated network.
+
+Models the paper's testbed: every ordered pair of distinct machines is a
+link with propagation latency (40 ms injected in the evaluation), limited
+bandwidth (200 Mbps) producing serialisation delay and queueing, optional
+jitter and loss, and administrative controls (cut links, partition sets of
+nodes, heal).  Messages to self deliver after a negligible loopback delay.
+
+Bandwidth is modelled per *egress* interface: a machine with a 200 Mbps
+NIC serialises all outgoing messages through one queue, so a leader
+broadcasting to ``n-1`` replicas pays ``(n-1) * size * 8 / bw`` of
+serialisation — the effect that makes HotStuff-style leaders bandwidth
+bound as ``n`` grows, visible in Figure 10g.
+
+The network also keeps running totals of messages and bytes per (src, dst)
+pair, which the complexity benchmarks (Table I) read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.config import NetworkProfile
+from repro.common.errors import UnknownPeer
+from repro.des.simulator import Simulator
+from repro.network.message import Envelope, WireSizer
+from repro.network.transport import DeliveryHandler, Transport
+
+LOOPBACK_DELAY = 20e-6
+
+
+@dataclass
+class LinkState:
+    """Mutable state of one directed link."""
+
+    up: bool = True
+    extra_latency: float = 0.0
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters the benchmarks read."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    per_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.per_pair[(src, dst)] = self.per_pair.get((src, dst), 0) + 1
+
+
+class SimNetwork(Transport):
+    """DES transport implementing the :class:`Transport` contract."""
+
+    def __init__(self, sim: Simulator, profile: NetworkProfile, sizer: WireSizer | None = None) -> None:
+        self._sim = sim
+        self._profile = profile
+        self._sizer = sizer or WireSizer()
+        self._handlers: dict[int, DeliveryHandler] = {}
+        self._links: dict[tuple[int, int], LinkState] = {}
+        self._nic_free_at: dict[int, float] = {}
+        self._link_free_at: dict[tuple[int, int], float] = {}
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self._unshaped: set[int] = set()
+        self._taps: list[Callable[[Envelope], None]] = []
+        self._stats = TrafficStats()
+        self._recording = True
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._stats
+
+    @property
+    def profile(self) -> NetworkProfile:
+        return self._profile
+
+    def reset_stats(self) -> None:
+        self._stats = TrafficStats()
+
+    def set_recording(self, on: bool) -> None:
+        """Pause/resume traffic accounting (warm-up exclusion)."""
+        self._recording = on
+
+    def register(self, endpoint: int, handler: DeliveryHandler) -> None:
+        self._handlers[endpoint] = handler
+
+    def set_unshaped(self, endpoint: int) -> None:
+        """Exempt an endpoint's egress from NIC/link shaping.
+
+        Used for the client hub, which stands for a large population of
+        client machines and therefore has no single NIC of its own.
+        """
+        self._unshaped.add(endpoint)
+
+    def link(self, src: int, dst: int) -> LinkState:
+        """Get (creating on demand) the state of the directed link src->dst."""
+        key = (src, dst)
+        state = self._links.get(key)
+        if state is None:
+            state = LinkState()
+            self._links[key] = state
+        return state
+
+    def cut(self, a: int, b: int) -> None:
+        """Cut both directions between ``a`` and ``b``."""
+        self.link(a, b).up = False
+        self.link(b, a).up = False
+
+    def heal(self, a: int, b: int) -> None:
+        """Restore both directions between ``a`` and ``b``."""
+        self.link(a, b).up = True
+        self.link(b, a).up = True
+
+    def partition(self, group_a: list[int], group_b: list[int]) -> None:
+        """Cut every link crossing between the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self.cut(a, b)
+
+    def heal_all(self) -> None:
+        for state in self._links.values():
+            state.up = True
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        if dst not in self._handlers:
+            raise UnknownPeer(f"no endpoint registered for id {dst}")
+        size = self._sizer.size_of(payload)
+        if self._recording:
+            self._stats.record(src, dst, size)
+        if src == dst:
+            envelope = Envelope(src=src, dst=dst, payload=payload, size=size, sent_at=self._sim.now)
+            self._sim.schedule(LOOPBACK_DELAY, lambda: self._deliver(envelope), label="loopback")
+            return
+        state = self.link(src, dst)
+        if not state.up:
+            if self._recording:
+                self._stats.dropped += 1
+            return
+        rng = self._sim.rng
+        if self._profile.loss_rate > 0.0 and rng.random() < self._profile.loss_rate:
+            if self._recording:
+                self._stats.dropped += 1
+            return
+        if src in self._unshaped:
+            link_done = self._sim.now
+        else:
+            # Stage 1: the sender's NIC, shared across all destinations.
+            nic_start = max(self._nic_free_at.get(src, 0.0), self._sim.now)
+            nic_done = nic_start + self._profile.nic_delay(size)
+            self._nic_free_at[src] = nic_done
+            # Stage 2: the per-link shaper (the testbed's 200 Mbps cap).
+            link_key = (src, dst)
+            link_start = max(self._link_free_at.get(link_key, 0.0), nic_done)
+            link_done = link_start + self._profile.transmission_delay(size)
+            self._link_free_at[link_key] = link_done
+        latency = self._profile.one_way_latency + state.extra_latency
+        if self._profile.jitter > 0.0:
+            latency += rng.uniform(0.0, self._profile.jitter)
+        arrival = link_done + latency
+        # Links are TCP-like: delivery is FIFO per (src, dst) even when
+        # jitter would let a small message overtake a large one's tail.
+        link_key = (src, dst)
+        floor = self._last_arrival.get(link_key, 0.0)
+        arrival = max(arrival, floor + 1e-9)
+        self._last_arrival[link_key] = arrival
+        envelope = Envelope(src=src, dst=dst, payload=payload, size=size, sent_at=self._sim.now)
+        self._sim.schedule_at(arrival, lambda: self._deliver(envelope), label=f"net:{src}->{dst}")
+
+    def add_tap(self, tap: "Callable[[Envelope], None]") -> None:
+        """Observe every delivered envelope (complexity accounting)."""
+        self._taps.append(tap)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        for tap in self._taps:
+            tap(envelope)
+        handler = self._handlers.get(envelope.dst)
+        if handler is not None:
+            handler(envelope.src, envelope.payload)

@@ -1,0 +1,31 @@
+"""The abstract transport contract shared by DES and asyncio networks."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+DeliveryHandler = Callable[[int, Any], None]
+"""Called as ``handler(src, payload)`` when a message arrives."""
+
+
+class Transport(ABC):
+    """Point-to-point messaging between numbered endpoints.
+
+    Endpoints are integers: replicas use their replica id; clients use ids
+    offset above the replica range.  ``send`` is fire-and-forget and never
+    blocks; delivery (or loss) is the transport's business.
+    """
+
+    @abstractmethod
+    def register(self, endpoint: int, handler: DeliveryHandler) -> None:
+        """Attach ``handler`` as the inbound-message callback of ``endpoint``."""
+
+    @abstractmethod
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to ``dst``; no delivery guarantee."""
+
+    def broadcast(self, src: int, dsts: list[int], payload: Any) -> None:
+        """Send ``payload`` to every endpoint in ``dsts`` (including src if listed)."""
+        for dst in dsts:
+            self.send(src, dst, payload)

@@ -1,0 +1,21 @@
+"""Real asyncio runtime for the sans-io protocol cores.
+
+The DES answers "what would the paper's testbed measure"; this package
+answers "does the protocol actually run concurrently": replicas execute
+on a live event loop, persist committed blocks to the from-scratch KV
+store, run checkpointing, and serve a real application state machine.
+
+* :mod:`repro.runtime.node` — :class:`AsyncioContext` + :class:`Node`
+  (replica + storage + app);
+* :mod:`repro.runtime.cluster` — :class:`LocalCluster`, an n-node
+  in-process deployment over :class:`~repro.network.asyncio_net.AsyncioNetwork`
+  (or TCP);
+* :mod:`repro.runtime.app` — the replicated key-value state machine used
+  by the examples.
+"""
+
+from repro.runtime.app import KVStateMachine
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.node import AsyncioContext, Node
+
+__all__ = ["AsyncioContext", "KVStateMachine", "LocalCluster", "Node"]

@@ -1,0 +1,23 @@
+"""Storage substrate — a from-scratch LevelDB stand-in.
+
+The paper's evaluation persists every committed block to LevelDB and runs
+background checkpointing every 5000 blocks; it credits this realism for
+its lower absolute numbers versus prior work.  This package provides the
+same roles:
+
+* :mod:`repro.storage.wal` — an append-only, checksummed write-ahead log;
+* :mod:`repro.storage.kvstore` — a log-structured KV store (memtable +
+  sorted immutable runs + WAL recovery + compaction), usable fully
+  in-memory or against a directory;
+* :mod:`repro.storage.blockstore` — block persistence keyed by digest,
+  with parent traversal;
+* :mod:`repro.storage.checkpoint` — the garbage-collection/checkpoint
+  manager that trims history every N committed blocks.
+"""
+
+from repro.storage.kvstore import KVStore
+from repro.storage.wal import WriteAheadLog
+from repro.storage.blockstore import BlockStore
+from repro.storage.checkpoint import CheckpointManager
+
+__all__ = ["BlockStore", "CheckpointManager", "KVStore", "WriteAheadLog"]

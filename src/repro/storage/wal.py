@@ -1,0 +1,99 @@
+"""Checksummed append-only write-ahead log.
+
+Record framing: ``[4-byte length][4-byte CRC32][payload]``.  Replay stops
+cleanly at the first torn or corrupt record (the crash-recovery contract:
+a partially written tail record is discarded, everything before it is
+intact).  Backed by a real file when given a path, or by an in-memory
+buffer for simulations and tests.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from typing import BinaryIO, Iterator
+
+from repro.common.errors import StoreClosed
+
+_HEADER = struct.Struct(">II")
+
+
+class WriteAheadLog:
+    """Append-only log of opaque byte records."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self._path = path
+        self._file: BinaryIO
+        if path is None:
+            self._file = io.BytesIO()
+        else:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._file = open(path, "a+b")
+        self._closed = False
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def append(self, record: bytes) -> None:
+        """Append one record; framing and checksum are added here."""
+        self._check_open()
+        crc = zlib.crc32(record) & 0xFFFFFFFF
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(_HEADER.pack(len(record), crc))
+        self._file.write(record)
+
+    def sync(self) -> None:
+        """Flush to the OS (and disk where applicable)."""
+        self._check_open()
+        self._file.flush()
+        if self._path is not None:
+            os.fsync(self._file.fileno())
+
+    def replay(self) -> Iterator[bytes]:
+        """Yield every intact record from the start of the log.
+
+        Stops (without raising) at the first truncated or corrupt record,
+        mirroring standard WAL recovery semantics.
+        """
+        self._check_open()
+        self._file.seek(0)
+        while True:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return
+            length, crc = _HEADER.unpack(header)
+            payload = self._file.read(length)
+            if len(payload) < length:
+                return
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                return
+            yield payload
+
+    def truncate(self) -> None:
+        """Discard all records (after a checkpoint has superseded them)."""
+        self._check_open()
+        self._file.seek(0)
+        self._file.truncate()
+
+    def size_bytes(self) -> int:
+        self._check_open()
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosed("write-ahead log is closed")
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.consensus.block import Operation, genesis_block
+from repro.consensus.crypto_service import (
+    MultisigCryptoService,
+    NullCryptoService,
+    ThresholdCryptoService,
+)
+from repro.crypto.keys import KeyRegistry
+
+
+@pytest.fixture
+def config_f1() -> ClusterConfig:
+    return ClusterConfig.for_f(1, batch_size=16, base_timeout=0.5)
+
+
+@pytest.fixture
+def config_f2() -> ClusterConfig:
+    return ClusterConfig.for_f(2, batch_size=16, base_timeout=0.5)
+
+
+@pytest.fixture
+def registry_f1() -> KeyRegistry:
+    return KeyRegistry(4, 3, seed=b"test-f1")
+
+
+@pytest.fixture
+def threshold_crypto(registry_f1: KeyRegistry) -> ThresholdCryptoService:
+    return ThresholdCryptoService(registry_f1)
+
+
+@pytest.fixture
+def multisig_crypto(registry_f1: KeyRegistry) -> MultisigCryptoService:
+    return MultisigCryptoService(registry_f1)
+
+
+@pytest.fixture
+def null_crypto() -> NullCryptoService:
+    return NullCryptoService(4, 3)
+
+
+@pytest.fixture
+def genesis():
+    return genesis_block()
+
+
+def make_ops(count: int, client: int = 7, size: int = 16, start: int = 0) -> tuple[Operation, ...]:
+    return tuple(
+        Operation(client_id=client, sequence=start + i, payload=bytes(size))
+        for i in range(count)
+    )
+
+
+@pytest.fixture
+def fast_experiment() -> ExperimentConfig:
+    """A small, fast DES experiment (LAN profile, f=1)."""
+    return ExperimentConfig(
+        cluster=ClusterConfig.for_f(1, batch_size=64, base_timeout=0.5),
+        network=NetworkProfile.lan(),
+        seed=11,
+    )

@@ -1,0 +1,117 @@
+"""Block store persistence and the checkpoint/GC manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.consensus.block import genesis_block, make_child
+from repro.crypto.hashing import digest_of
+from repro.storage.blockstore import BlockStore
+from repro.storage.checkpoint import CheckpointManager
+from repro.storage.kvstore import KVStore
+
+
+def build_chain(store: BlockStore, length: int):
+    blocks = [genesis_block()]
+    store.add(blocks[0])
+    for i in range(length):
+        child = make_child(blocks[-1], 1, (), digest_of(["qc", i]))
+        store.add(child)
+        blocks.append(child)
+    return blocks
+
+
+class TestBlockStore:
+    def test_add_get(self):
+        store = BlockStore()
+        blocks = build_chain(store, 3)
+        assert store.get(blocks[2].digest) == blocks[2]
+        assert blocks[2].digest in store
+        assert len(store) == 4
+
+    def test_add_idempotent(self):
+        store = BlockStore()
+        g = genesis_block()
+        store.add(g)
+        store.add(g)
+        assert len(store) == 1
+
+    def test_parent_traversal(self):
+        store = BlockStore()
+        blocks = build_chain(store, 3)
+        chain = list(store.chain_to_genesis(blocks[3]))
+        assert [b.height for b in chain] == [3, 2, 1, 0]
+
+    def test_is_ancestor(self):
+        store = BlockStore()
+        blocks = build_chain(store, 3)
+        assert store.is_ancestor(blocks[1].digest, blocks[3])
+        assert not store.is_ancestor(blocks[3].digest, blocks[1])
+
+    def test_prune(self):
+        store = BlockStore()
+        blocks = build_chain(store, 5)
+        dropped = store.prune_below({blocks[5].digest, blocks[4].digest})
+        assert dropped == 4
+        assert blocks[5].digest in store
+        assert blocks[1].digest not in store
+
+    def test_persistence_via_kv(self):
+        kv = KVStore()
+        store = BlockStore(kv=kv, serializer=lambda b: digest_of([b.height]))
+        blocks = build_chain(store, 2)
+        assert kv.get(b"block:" + blocks[1].digest) is not None
+        store.prune_below(set())
+        assert kv.get(b"block:" + blocks[1].digest) is None
+
+    def test_kv_requires_serializer(self):
+        with pytest.raises(StorageError):
+            BlockStore(kv=KVStore())
+
+
+class TestCheckpointManager:
+    def test_runs_every_interval(self):
+        store = BlockStore()
+        blocks = build_chain(store, 12)
+        manager = CheckpointManager(interval=5, blockstore=store, keep_window=3)
+        ran = [manager.on_commit(b, b.height) for b in blocks[1:]]
+        assert ran.count(True) == 2
+        assert manager.checkpoints_taken == 2
+        assert manager.last_checkpoint_height == 10
+
+    def test_prunes_history(self):
+        store = BlockStore()
+        blocks = build_chain(store, 10)
+        manager = CheckpointManager(interval=10, blockstore=store, keep_window=3)
+        for b in blocks[1:]:
+            manager.on_commit(b, b.height)
+        # Only the keep_window newest blocks survive.
+        assert len(store) == 3
+        assert blocks[10].digest in store
+        assert blocks[8].digest in store
+        assert blocks[7].digest not in store
+
+    def test_callback_invoked(self):
+        store = BlockStore()
+        blocks = build_chain(store, 4)
+        seen: list[int] = []
+        manager = CheckpointManager(
+            interval=2, blockstore=store, keep_window=10, on_checkpoint=seen.append
+        )
+        for b in blocks[1:]:
+            manager.on_commit(b, b.height)
+        assert seen == [2, 4]
+
+    def test_records_height_in_kv(self):
+        store = BlockStore()
+        kv = KVStore()
+        blocks = build_chain(store, 5)
+        manager = CheckpointManager(interval=5, blockstore=store, kv=kv, keep_window=10)
+        for b in blocks[1:]:
+            manager.on_commit(b, b.height)
+        assert kv.get(b"meta:checkpoint_height") == b"5"
+
+    def test_invalid_interval(self):
+        with pytest.raises(StorageError):
+            CheckpointManager(interval=0, blockstore=BlockStore())

@@ -1,0 +1,180 @@
+"""Chained (pipelined) Marlin and HotStuff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.consensus.chained import ChainedHotStuffReplica, ChainedMarlinReplica
+from repro.consensus.messages import PhaseMsg
+from repro.consensus.qc import Phase
+from repro.harness.des_runtime import DESCluster
+from repro.harness.workload import ClosedLoopClients
+
+from tests.helpers import LocalNet
+
+
+class TestChainedMarlinLocal:
+    def make_net(self) -> LocalNet:
+        net = LocalNet(ChainedMarlinReplica, n=4)
+        net.start()
+        return net
+
+    def test_commits_all_ops(self):
+        net = self.make_net()
+        net.submit(0, [f"op-{i}".encode() for i in range(24)])
+        net.pump()
+        heights = net.heights()
+        assert len(set(heights)) == 1 and heights[0] >= 3
+        assert all(r.ledger.ops_committed == 24 for r in net.replicas)
+
+    def test_fewer_messages_than_event_driven(self):
+        from repro.consensus.marlin.replica import MarlinReplica
+
+        chained = self.make_net()
+        chained.delivered.clear()
+        chained.submit(0, [f"op-{i}".encode() for i in range(24)])
+        chained.pump()
+
+        plain = LocalNet(MarlinReplica, n=4)
+        plain.start()
+        plain.delivered.clear()
+        plain.submit(0, [f"op-{i}".encode() for i in range(24)])
+        plain.pump()
+
+        assert chained.replicas[0].ledger.ops_committed == 24
+        assert plain.replicas[0].ledger.ops_committed == 24
+        assert len(chained.delivered) < len(plain.delivered)
+
+    def test_no_commit_broadcast_while_loaded(self):
+        """Under continuous load, interior blocks commit by chain rule,
+        so COMMIT broadcasts only appear at the flush boundary."""
+        net = self.make_net()
+        net.submit(0, [f"op-{i}".encode() for i in range(40)])
+        net.pump()
+        commit_msgs = [
+            p
+            for src, dst, p in net.delivered
+            if isinstance(p, PhaseMsg) and p.phase == Phase.COMMIT and src == 0 and dst == 1
+        ]
+        blocks = net.replicas[0].ledger.num_committed_blocks
+        assert blocks >= 4
+        # Far fewer COMMIT rounds than blocks (bootstrap + flush only).
+        assert len(commit_msgs) <= 3
+
+    def test_flush_commits_tail_block(self):
+        """The last block of a burst still commits (explicit fallback)."""
+        net = self.make_net()
+        net.submit(0, [b"only-op"])
+        net.pump()
+        assert all(r.ledger.ops_committed == 1 for r in net.replicas)
+
+    def test_view_change_machinery_inherited(self):
+        net = self.make_net()
+        net.submit(0, [b"pre-crash"])
+        net.pump()
+        net.crash(0)
+        net.timeout_all()
+        net.submit(1, [b"post-crash"], client=60)
+        net.pump()
+        alive = net.replicas[1:]
+        heights = [r.ledger.committed_height for r in alive]
+        assert len(set(heights)) == 1
+        assert all(r.ledger.ops_committed == 2 for r in alive)
+
+
+class TestChainedHotStuffLocal:
+    def make_net(self) -> LocalNet:
+        net = LocalNet(ChainedHotStuffReplica, n=4)
+        net.start()
+        return net
+
+    def test_commits_all_ops(self):
+        net = self.make_net()
+        net.submit(0, [f"op-{i}".encode() for i in range(24)])
+        net.pump()
+        heights = net.heights()
+        assert len(set(heights)) == 1 and heights[0] >= 3
+        assert all(r.ledger.ops_committed == 24 for r in net.replicas)
+
+    def test_three_chain_lag(self):
+        """Chained HotStuff's committed head trails the proposed tip by
+        the 3-chain depth while under load; the flush closes the gap."""
+        net = self.make_net()
+        net.submit(0, [f"op-{i}".encode() for i in range(8)])
+        net.pump()
+        assert all(r.ledger.ops_committed == 8 for r in net.replicas)
+
+    def test_crash_recovery(self):
+        net = self.make_net()
+        net.submit(0, [b"pre"])
+        net.pump()
+        net.crash(0)
+        net.timeout_all()
+        net.submit(1, [b"post"], client=61)
+        net.pump()
+        alive = net.replicas[1:]
+        assert all(r.ledger.ops_committed == 2 for r in alive)
+
+    def test_chained_commits_lag_behind_marlin(self):
+        """2-chain commits beat 3-chain commits for the same burst."""
+        marlin = LocalNet(ChainedMarlinReplica, n=4)
+        marlin.start()
+        hotstuff = LocalNet(ChainedHotStuffReplica, n=4)
+        hotstuff.start()
+        for net in (marlin, hotstuff):
+            net.delivered.clear()
+            net.submit(0, [f"op-{i}".encode() for i in range(24)])
+            net.pump()
+        assert marlin.replicas[0].ledger.ops_committed == 24
+        assert hotstuff.replicas[0].ledger.ops_committed == 24
+        # Equal work, but HotStuff needed at least as many messages.
+        assert len(marlin.delivered) <= len(hotstuff.delivered)
+
+
+class TestChainedOnDES:
+    @pytest.mark.parametrize("protocol", ["chained-marlin", "chained-hotstuff"])
+    def test_end_to_end(self, protocol):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200, base_timeout=0.8),
+            network=NetworkProfile.lan(),
+            seed=21,
+        )
+        cluster = DESCluster(experiment, protocol=protocol, crypto_mode="threshold")
+        pool = ClosedLoopClients(cluster, num_clients=24, token_weight=1)
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.run(until=5.0)
+        cluster.assert_safety()
+        assert min(cluster.committed_heights()) > 5
+        assert pool.completed_ops > 50
+
+    def test_chained_marlin_latency_beats_chained_hotstuff(self):
+        results = {}
+        for protocol in ("chained-marlin", "chained-hotstuff"):
+            experiment = ExperimentConfig(
+                cluster=ClusterConfig.for_f(1, batch_size=400, base_timeout=30.0),
+                seed=22,
+            )
+            cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
+            pool = ClosedLoopClients(cluster, num_clients=512, token_weight=4, warmup=4.0)
+            cluster.start()
+            cluster.sim.schedule(0.01, pool.start)
+            cluster.run(until=15.0)
+            cluster.assert_safety()
+            results[protocol] = pool.summary()["mean_latency"]
+        assert results["chained-marlin"] < results["chained-hotstuff"]
+
+    def test_leader_crash_on_des(self):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200, base_timeout=0.5), seed=23
+        )
+        cluster = DESCluster(experiment, protocol="chained-marlin", crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.crash_at(0, 2.0)
+        cluster.run(until=12.0)
+        cluster.assert_safety()
+        post = [when for rid, _, _, when in cluster.auditor.commits if when > 2.5 and rid != 0]
+        assert post

@@ -1,0 +1,192 @@
+"""End-to-end DES integration: full clusters under the paper's testbed
+model, across protocols, crypto schemes and cluster sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.harness.des_runtime import DESCluster
+from repro.harness.workload import ClosedLoopClients
+
+
+def run_cluster(
+    protocol: str,
+    f: int = 1,
+    crypto_mode: str = "threshold",
+    clients: int = 24,
+    sim_time: float = 6.0,
+    seed: int = 5,
+    **kwargs,
+):
+    experiment = ExperimentConfig(
+        cluster=ClusterConfig.for_f(f, batch_size=200, base_timeout=0.8), seed=seed
+    )
+    cluster = DESCluster(experiment, protocol=protocol, crypto_mode=crypto_mode, **kwargs)
+    pool = ClosedLoopClients(cluster, num_clients=clients, token_weight=1)
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    cluster.run(until=sim_time)
+    cluster.assert_safety()
+    return cluster, pool
+
+
+class TestProtocolsCommit:
+    @pytest.mark.parametrize("protocol", ["marlin", "hotstuff"])
+    def test_failure_free_progress(self, protocol):
+        cluster, pool = run_cluster(protocol)
+        heights = cluster.committed_heights()
+        assert min(heights) > 5
+        assert max(heights) - min(heights) <= 2  # replicas stay in sync
+        assert pool.completed_ops > 100
+
+    @pytest.mark.parametrize("crypto_mode", ["threshold", "multisig", "null"])
+    def test_crypto_modes_agree(self, crypto_mode):
+        cluster, pool = run_cluster("marlin", crypto_mode=crypto_mode)
+        assert min(cluster.committed_heights()) > 5
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_cluster_sizes(self, f):
+        cluster, pool = run_cluster("marlin", f=f, crypto_mode="null", sim_time=5.0)
+        assert min(cluster.committed_heights()) > 3
+
+    def test_stable_leader_keeps_view_one(self):
+        cluster, _ = run_cluster("marlin")
+        assert all(r.cview == 1 for r in cluster.replicas)
+
+    def test_ops_conserved(self):
+        """Every acknowledged op was committed, none duplicated."""
+        cluster, pool = run_cluster("marlin", clients=16)
+        committed = max(r.ledger.ops_committed for r in cluster.replicas)
+        assert pool.completed_ops <= committed
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("protocol", ["marlin", "hotstuff"])
+    def test_leader_crash_then_progress(self, protocol):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200, base_timeout=0.5), seed=7
+        )
+        cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.crash_at(0, 2.0)
+        cluster.run(until=12.0)
+        cluster.assert_safety()
+        alive_heights = [r.ledger.committed_height for r in cluster.replicas[1:]]
+        post_crash = [
+            when for rid, _, _, when in cluster.auditor.commits if when > 2.5 and rid != 0
+        ]
+        assert post_crash, f"no commits after the crash (heights {alive_heights})"
+        assert all(r.cview >= 2 for r in cluster.replicas[1:])
+
+    def test_non_leader_crash_harmless(self):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200, base_timeout=0.8), seed=8
+        )
+        cluster = DESCluster(experiment, protocol="marlin", crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1)
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.crash_at(3, 1.0)
+        cluster.run(until=6.0)
+        cluster.assert_safety()
+        assert all(r.cview == 1 for r in cluster.replicas[:3])
+        assert min(r.ledger.committed_height for r in cluster.replicas[:3]) > 5
+
+    def test_two_successive_leader_crashes(self):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(2, batch_size=200, base_timeout=0.5), seed=9
+        )
+        cluster = DESCluster(experiment, protocol="marlin", crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.crash_at(0, 2.0)
+        cluster.crash_at(1, 4.0)
+        cluster.run(until=15.0)
+        cluster.assert_safety()
+        alive = cluster.replicas[2:]
+        post = [when for rid, _, _, when in cluster.auditor.commits if when > 4.5 and rid >= 2]
+        assert post
+        heights = [r.ledger.committed_height for r in alive]
+        assert max(heights) - min(heights) <= 2
+
+
+class TestRotation:
+    @pytest.mark.parametrize("protocol", ["marlin", "hotstuff"])
+    def test_rotating_leaders_progress(self, protocol):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200), seed=10
+        )
+        cluster = DESCluster(
+            experiment,
+            protocol=protocol,
+            crypto_mode="null",
+            rotation_interval=1.0,
+            forward_requests=False,
+        )
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.run(until=8.0)
+        cluster.assert_safety()
+        assert max(r.cview for r in cluster.replicas) >= 5  # rotations happened
+        assert min(cluster.committed_heights()) > 3
+
+    def test_rotation_with_crashed_replica(self):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200), seed=11
+        )
+        cluster = DESCluster(
+            experiment,
+            protocol="marlin",
+            crypto_mode="null",
+            rotation_interval=1.0,
+            forward_requests=False,
+        )
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.crash_at(3, 0.2)
+        cluster.run(until=10.0)
+        cluster.assert_safety()
+        heights = [r.ledger.committed_height for r in cluster.replicas[:3]]
+        assert min(heights) > 2
+
+
+class TestNetworkAdversity:
+    def test_progress_with_message_loss(self):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200, base_timeout=0.4),
+            network=NetworkProfile(
+                one_way_latency=0.01, bandwidth_bps=1e9, nic_bps=1e10, jitter=0.002, loss_rate=0.02
+            ),
+            seed=12,
+        )
+        cluster = DESCluster(experiment, protocol="marlin", crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=8, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.run(until=20.0)
+        cluster.assert_safety()
+        assert min(cluster.committed_heights()) > 1
+
+    def test_partition_heals(self):
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=200, base_timeout=0.5), seed=13
+        )
+        cluster = DESCluster(experiment, protocol="marlin", crypto_mode="null")
+        pool = ClosedLoopClients(cluster, num_clients=8, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        # Isolate the leader for a while; a view change must occur, then
+        # the healed partition rejoins.
+        cluster.sim.schedule(2.0, lambda: cluster.network.partition([0], [1, 2, 3]))
+        cluster.sim.schedule(6.0, cluster.network.heal_all)
+        cluster.run(until=16.0)
+        cluster.assert_safety()
+        alive = [r.ledger.committed_height for r in cluster.replicas[1:]]
+        assert min(alive) > 1
+        assert all(r.cview >= 2 for r in cluster.replicas[1:])

@@ -1,0 +1,131 @@
+"""Canonical encoding: determinism, roundtrips, malformed input."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**62),
+            b"",
+            b"\x00\xff" * 10,
+            "",
+            "hello",
+            "uniçøde",
+            [],
+            [1, 2, 3],
+            [None, True, b"x", "y", [2]],
+            {},
+            {"a": 1, "b": [2, 3], "c": {"d": b"e"}},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_deep_nesting(self):
+        value = [1]
+        for _ in range(50):
+            value = [value]
+        assert decode(encode(value)) == value
+
+
+class TestDeterminism:
+    def test_dict_key_order_irrelevant(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    def test_distinct_values_distinct_encodings(self):
+        values = [0, 1, -1, b"", b"0", "", "0", None, True, False, [], [0], {}]
+        encodings = [encode(v) for v in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_int_zero_differs_from_false(self):
+        assert encode(0) != encode(False)
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(EncodingError):
+            encode(1.5)
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(EncodingError):
+            encode({1: "x"})
+
+    def test_int_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(2**70)
+
+    def test_trailing_bytes(self):
+        with pytest.raises(EncodingError):
+            decode(encode(1) + b"junk")
+
+    def test_truncated(self):
+        data = encode([1, 2, 3])
+        with pytest.raises(EncodingError):
+            decode(data[:-3])
+
+    def test_empty_input(self):
+        with pytest.raises(EncodingError):
+            decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(EncodingError):
+            decode(b"zzz")
+
+    def test_unsorted_dict_rejected(self):
+        # Hand-build a dict encoding with keys out of canonical order.
+        good = encode({"a": 1, "b": 2})
+        a_first = encode("a") + encode(1)
+        b_first = encode("b") + encode(2)
+        swapped = good[:5] + b_first + a_first
+        with pytest.raises(EncodingError):
+            decode(swapped)
+
+
+_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=25,
+)
+
+
+@given(_values)
+def test_property_roundtrip(value):
+    decoded = decode(encode(value))
+    assert decoded == _normalise(value)
+
+
+@given(_values)
+def test_property_deterministic(value):
+    assert encode(value) == encode(value)
+
+
+def _normalise(value):
+    if isinstance(value, tuple):
+        return [_normalise(v) for v in value]
+    if isinstance(value, list):
+        return [_normalise(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalise(v) for k, v in value.items()}
+    return value

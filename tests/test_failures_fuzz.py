@@ -1,0 +1,133 @@
+"""Byzantine strategies and the random-adversity fuzzer.
+
+Safety must hold under every strategy and every fuzzed schedule; liveness
+is asserted only where the configuration permits it (at most f faulty,
+network eventually healed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.harness.des_runtime import DESCluster
+from repro.harness.failures import (
+    Delayer,
+    Equivocator,
+    QCHider,
+    SilentAfter,
+    VoteWithholder,
+    fuzz_schedule,
+    make_byzantine,
+)
+from repro.harness.workload import ClosedLoopClients
+
+
+def build(protocol: str = "marlin", f: int = 1, seed: int = 31, base_timeout: float = 0.5):
+    experiment = ExperimentConfig(
+        cluster=ClusterConfig.for_f(f, batch_size=200, base_timeout=base_timeout),
+        seed=seed,
+    )
+    cluster = DESCluster(experiment, protocol=protocol, crypto_mode="threshold")
+    pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    return cluster, pool
+
+
+class TestStrategies:
+    def test_silent_after_behaves_like_crash(self):
+        cluster, pool = build()
+        make_byzantine(cluster, 0, SilentAfter(2.0))  # the view-1 leader
+        cluster.run(until=12.0)
+        cluster.assert_safety()
+        post = [when for rid, _, _, when in cluster.auditor.commits if when > 3.0 and rid != 0]
+        assert post, "survivors must recover from a silent leader"
+
+    def test_vote_withholder_cannot_stop_quorum(self):
+        cluster, pool = build()
+        make_byzantine(cluster, 3, VoteWithholder())  # a non-leader
+        cluster.run(until=8.0)
+        cluster.assert_safety()
+        assert min(r.ledger.committed_height for r in cluster.replicas[:3]) > 3
+
+    def test_equivocating_leader_never_splits_commits(self):
+        cluster, pool = build()
+        make_byzantine(cluster, 0, Equivocator(cluster.experiment.cluster.num_replicas))
+        cluster.run(until=12.0)
+        cluster.assert_safety()  # the whole point: no conflicting commits
+
+    def test_delayer_slows_but_does_not_break(self):
+        cluster, pool = build(base_timeout=2.0)
+        make_byzantine(cluster, 2, Delayer(cluster, 0.2))
+        cluster.run(until=10.0)
+        cluster.assert_safety()
+        assert min(r.ledger.committed_height for r in cluster.replicas) > 1
+
+    def test_qc_hider_in_view_change(self):
+        """Fig. 2's p4: hide knowledge in VIEW-CHANGE; recovery must still
+        succeed (Marlin's vote-to-unlock does not trust any single VC)."""
+        cluster, pool = build()
+        from repro.consensus.messages import Justify
+
+        hider = QCHider(Justify(cluster.replicas[3].genesis_qc))
+        make_byzantine(cluster, 3, hider)
+        cluster.crash_at(0, 2.0)  # force a view change with the hider active
+        cluster.run(until=14.0)
+        cluster.assert_safety()
+        post = [when for rid, _, _, when in cluster.auditor.commits if when > 2.5 and rid != 0]
+        assert post
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_marlin_fuzz_safety(self, seed):
+        report = fuzz_schedule(seed, protocol="marlin", f=1, sim_time=20.0)
+        assert report.safety_ok
+        # With at most f crashes and all partitions healed, progress is
+        # required after GST.
+        alive = [h for i, h in enumerate(report.committed_heights)]
+        assert max(alive) > 0, f"no progress at all: {report.events}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hotstuff_fuzz_safety(self, seed):
+        report = fuzz_schedule(seed + 100, protocol="hotstuff", f=1, sim_time=20.0)
+        assert report.safety_ok
+        assert max(report.committed_heights) > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chained_marlin_fuzz_safety(self, seed):
+        report = fuzz_schedule(seed + 200, protocol="chained-marlin", f=1, sim_time=20.0)
+        assert report.safety_ok
+
+    def test_f2_fuzz(self):
+        report = fuzz_schedule(7, protocol="marlin", f=2, sim_time=25.0)
+        assert report.safety_ok
+        assert max(report.committed_heights) > 0
+
+    def test_report_records_events(self):
+        report = fuzz_schedule(3, protocol="marlin", f=1, sim_time=10.0)
+        assert isinstance(report.events, list)
+        assert report.max_view >= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma4_holds_under_crash_faults(self, seed):
+        """Lemma 4: a view-change snapshot never yields more than two
+        rank-maximal QCs in crash-fault (non-equivocating) executions."""
+        from repro.harness.des_runtime import DESCluster
+        from repro.common.config import ClusterConfig, ExperimentConfig
+        from repro.harness.workload import ClosedLoopClients
+
+        experiment = ExperimentConfig(
+            cluster=ClusterConfig.for_f(1, batch_size=300, base_timeout=0.4),
+            seed=seed + 500,
+        )
+        cluster = DESCluster(experiment, protocol="marlin", crypto_mode="null",
+                             force_unhappy=True)
+        pool = ClosedLoopClients(cluster, num_clients=16, token_weight=1, target="all")
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        cluster.crash_at(seed % 4, 1.5)
+        cluster.run(until=10.0)
+        cluster.assert_safety()
+        assert all(r.stats["lemma4_violations"] == 0 for r in cluster.replicas)

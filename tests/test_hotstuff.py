@@ -1,0 +1,186 @@
+"""Basic HotStuff: three phases, precommit locking, view changes."""
+
+from __future__ import annotations
+
+from repro.consensus.hotstuff.replica import HotStuffReplica
+from repro.consensus.messages import Justify, PhaseMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.qc import Phase
+
+from tests.helpers import LocalNet
+
+
+def make_net(**kwargs) -> LocalNet:
+    net = LocalNet(HotStuffReplica, n=4, **kwargs)
+    net.start()
+    return net
+
+
+class TestNormalCase:
+    def test_bootstrap_and_commit(self):
+        net = make_net()
+        assert net.views() == [1, 1, 1, 1]
+        net.submit(0, [b"x", b"y"])
+        net.pump()
+        heights = net.heights()
+        assert len(set(heights)) == 1 and heights[0] >= 1
+        assert all(r.ledger.ops_committed == 2 for r in net.replicas)
+
+    def test_three_phase_sequence(self):
+        net = make_net()
+        net.submit(0, [b"x"])
+        net.pump()
+        phases = [
+            p.phase
+            for src, dst, p in net.delivered
+            if isinstance(p, PhaseMsg) and src == 0 and dst == 1
+        ]
+        first_prepare = phases.index(Phase.PREPARE)
+        tail = phases[first_prepare : first_prepare + 4]
+        assert tail == [Phase.PREPARE, Phase.PRECOMMIT, Phase.COMMIT, Phase.DECIDE]
+
+    def test_lock_is_precommit_qc(self):
+        net = make_net()
+        net.submit(0, [b"x"])
+        net.pump()
+        for replica in net.replicas:
+            assert replica.locked_qc.phase in (Phase.PRECOMMIT,)
+        # highQC is the newest prepareQC.
+        assert all(r.prepare_qc.phase == Phase.PREPARE for r in net.replicas)
+
+    def test_one_more_phase_than_marlin(self):
+        """HotStuff needs strictly more messages per block than Marlin."""
+        from repro.consensus.marlin.replica import MarlinReplica
+
+        hs = make_net()
+        hs.delivered.clear()
+        hs.submit(0, [b"x"])
+        hs.pump()
+        hs_msgs = len(hs.delivered)
+
+        marlin = LocalNet(MarlinReplica, n=4)
+        marlin.start()
+        marlin.delivered.clear()
+        marlin.submit(0, [b"x"])
+        marlin.pump()
+        assert hs_msgs > len(marlin.delivered)
+
+    def test_vote_once_per_height(self):
+        net = make_net()
+        net.submit(0, [b"x"])
+        net.pump()
+        replica = net.replicas[1]
+        qc = replica.prepare_qc
+        from repro.consensus.block import Block
+
+        votes_before = replica.stats["votes_sent"]
+        for salt in (1, 2):
+            block = Block(
+                parent_link=qc.block.digest,
+                parent_view=qc.block.view,
+                view=1,
+                height=qc.block.height + 1,
+                operations=(),
+                justify_digest=qc.digest,
+                proposer=salt,
+            )
+            replica.on_message(0, PhaseMsg(phase=Phase.PREPARE, view=1, justify=Justify(qc), block=block))
+        assert replica.stats["votes_sent"] == votes_before + 1
+
+
+class TestViewChange:
+    def test_crash_leader_recovery(self):
+        net = make_net()
+        net.submit(0, [b"pre"])
+        net.pump()
+        before = net.heights()[1]
+        net.crash(0)
+        net.timeout_all()
+        net.submit(1, [b"post"], client=80)
+        net.pump()
+        alive_heights = [h for i, h in enumerate(net.heights()) if i != 0]
+        assert len(set(alive_heights)) == 1 and alive_heights[0] > before
+        assert all(r.cview == 2 for i, r in enumerate(net.replicas) if i != 0)
+
+    def test_new_view_carries_prepare_qc(self):
+        net = make_net()
+        net.submit(0, [b"pre"])
+        net.pump()
+        net.crash(0)
+        net.delivered.clear()
+        net.timeout_all()
+        new_views = [
+            p for _, dst, p in net.delivered if isinstance(p, ViewChangeMsg) and dst == 1
+        ]
+        assert new_views
+        assert all(m.justify.qc.phase == Phase.PREPARE for m in new_views)
+
+    def test_leader_extends_highest_prepare_qc(self):
+        net = make_net()
+        net.submit(0, [b"pre"])
+        net.pump()
+        tip = net.replicas[1].prepare_qc
+        net.crash(0)
+        net.timeout_all()
+        leader2 = net.replicas[1]
+        assert leader2.prepare_qc.block.height >= tip.block.height
+
+    def test_successive_crashes(self):
+        net = make_net()
+        net.submit(0, [b"one"])
+        net.pump()
+        net.crash(0)
+        net.timeout_all()
+        net.crash(1)
+        net.timeout_all()
+        net.submit(2, [b"two"], client=81)
+        net.pump()
+        alive = [net.replicas[2], net.replicas[3]]
+        heights = [r.ledger.committed_height for r in alive]
+        assert len(set(heights)) == 1 and heights[0] >= 1
+
+    def test_unlock_via_higher_view_justify(self):
+        """A replica locked in view 1 accepts a view-2 proposal whose
+        justify has a higher view (the safeNode liveness rule)."""
+        net = make_net()
+        net.submit(0, [b"one"])
+        net.pump()
+        replica = net.replicas[3]
+        assert replica.locked_qc.view == 1
+        net.crash(0)
+        net.timeout_all()
+        net.submit(1, [b"two"], client=82)
+        net.pump()
+        assert replica.ledger.committed_height >= 2
+
+
+class TestVoteHandling:
+    def test_leader_ignores_votes_for_other_views(self):
+        net = make_net()
+        net.submit(0, [b"x"])
+        net.pump()
+        leader = net.replicas[0]
+        vote = VoteMsg(
+            phase=Phase.PREPARE,
+            view=9,
+            block=leader.prepare_qc.block,
+            share=net.crypto.sign_vote(1, Phase.PREPARE, 9, leader.prepare_qc.block),
+        )
+        before = leader.stats["proposals_sent"]
+        leader.on_message(1, vote)
+        assert leader.stats["proposals_sent"] == before
+
+    def test_forged_share_rejected(self):
+        net = make_net()
+        net.submit(0, [b"x"])
+        net.pump()
+        leader = net.replicas[0]
+        block = leader.prepare_qc.block
+        forged = VoteMsg(
+            phase=Phase.COMMIT,
+            view=1,
+            block=block,
+            share=net.crypto.sign_vote(2, Phase.COMMIT, 1, block),  # claims src 1
+        )
+        collector_before = leader.collector.votes_for(Phase.COMMIT, 1, block.digest)
+        leader.on_message(1, forged)
+        assert leader.collector.votes_for(Phase.COMMIT, 1, block.digest) == collector_before

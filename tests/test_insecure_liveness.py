@@ -1,0 +1,171 @@
+"""The Section IV-B demonstration: two-phase HotStuff without Marlin's
+pre-prepare phase loses liveness on an unsafe view-change snapshot, while
+Marlin recovers from the *identical* scenario.
+
+Scenario (the paper's Fig. 2b/2c, four replicas r0..r3, leader of view 1
+is r0, leader of view 2 is r1):
+
+* view 1 commits b1; the leader r0 then proposes b2;
+* ``prepareQC(b2)`` forms (votes from r0, r1, r3 — r2 never sees b2), but
+  the COMMIT carrying it reaches **only r3**, which locks on it;
+* r0 turns Byzantine: it withholds all votes and, in every view change,
+  sends a forged VIEW-CHANGE that *hides* its b2 QC (claiming lb = b1);
+* the adversary delays r3's VIEW-CHANGE messages, so every new leader
+  collects the unsafe snapshot {r0(lying), r1, r2}.
+
+Under the insecure protocol each new leader re-extends b1; r3 is locked
+higher and refuses; with r0 withholding, the quorum of three is
+unreachable — forever.  Marlin's PRE-PREPARE broadcast reaches r3, which
+answers with Case R2 (vote for the virtual block + ship its lockedQC),
+and the system commits again.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.messages import Justify, PhaseMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.qc import Phase
+from repro.consensus.twophase_insecure import TwoPhaseInsecureReplica
+
+from tests.helpers import LocalNet
+
+LOCKED = 3  # the replica that ends up locked on b2's prepareQC
+HIDDEN = 2  # the replica that never sees b2 at all
+BYZ = 0  # the old leader, turning vote-withholder + QC-hider
+
+
+def build_unsafe_snapshot_scenario(replica_cls) -> LocalNet:
+    """Drive the cluster into the Fig. 2 state for either protocol."""
+    net = LocalNet(replica_cls, n=4)
+    net.start()
+    net.submit(0, [b"b1-payload"])
+    net.pump()
+    heights = net.heights()
+    assert len(set(heights)) == 1 and heights[0] >= 1
+    net.b1_height = heights[0]
+    net.b2_height = net.b1_height + 1
+    b2_height = net.b2_height
+
+    net.submit(0, [b"b2-payload"], client=60)
+
+    def shape_b2_traffic(src: int, dst: int, payload) -> bool:
+        # b2's proposal never reaches HIDDEN.
+        if (
+            isinstance(payload, PhaseMsg)
+            and payload.phase == Phase.PREPARE
+            and payload.block is not None
+            and payload.block.height == b2_height
+        ):
+            return dst == HIDDEN
+        # The COMMIT carrying prepareQC(b2) reaches only LOCKED.
+        if (
+            isinstance(payload, PhaseMsg)
+            and payload.phase == Phase.COMMIT
+            and payload.justify.qc.block.height == b2_height
+        ):
+            return dst != LOCKED
+        # Nothing further for b2 completes.
+        if (
+            isinstance(payload, VoteMsg)
+            and payload.phase == Phase.COMMIT
+            and payload.block.height == b2_height
+        ):
+            return True
+        return False
+
+    net.pump(drop=shape_b2_traffic)
+    assert net.replicas[LOCKED].locked_qc.block.height == b2_height
+    assert net.replicas[1].locked_qc.block.height == net.b1_height
+    assert net.replicas[HIDDEN].locked_qc.block.height == net.b1_height
+    # Remember honest pre-view-change state for the forged VC.
+    net.qc_b1 = net.replicas[1].locked_qc
+    # r0 now withholds everything (crash == silence in LocalNet).
+    net.crash(BYZ)
+    return net
+
+
+def adversary_drop(src: int, dst: int, payload) -> bool:
+    """Delay the locked replica's VIEW-CHANGE messages indefinitely."""
+    return isinstance(payload, ViewChangeMsg) and src == LOCKED
+
+
+def inject_forged_vc(net: LocalNet, view: int) -> None:
+    """r0's Byzantine VIEW-CHANGE: claims lb = b1, hides the b2 QC."""
+    leader = net.replicas[net.config.leader_of(view)]
+    lb = net.qc_b1.block
+    forged = ViewChangeMsg(
+        view=view,
+        last_voted=lb,
+        justify=Justify(net.qc_b1),
+        share=net.crypto.sign_vote(BYZ, Phase.PREPARE, view, lb),
+    )
+    leader.on_message(BYZ, forged)
+
+
+def advance_one_view(net: LocalNet) -> None:
+    net.timeout_all(pump=False)
+    view = max(net.views())
+    inject_forged_vc(net, view)
+    net.pump(drop=adversary_drop)
+
+
+class TestInsecureProtocolStalls:
+    def test_unsafe_snapshot_blocks_progress_forever(self):
+        net = build_unsafe_snapshot_scenario(TwoPhaseInsecureReplica)
+        heights_before = [r.ledger.committed_height for r in net.replicas[1:]]
+        for _ in range(4):
+            advance_one_view(net)
+            leader_id = net.config.leader_of(max(net.views()))
+            if leader_id != BYZ:
+                net.submit(leader_id, [b"stuck"], client=70 + max(net.views()))
+                net.pump(drop=adversary_drop)
+        heights_after = [r.ledger.committed_height for r in net.replicas[1:]]
+        assert heights_after == heights_before, "insecure protocol must stall"
+        assert net.replicas[LOCKED].locked_qc.block.height == net.b2_height
+
+    def test_locked_replica_refuses_reextension(self):
+        net = build_unsafe_snapshot_scenario(TwoPhaseInsecureReplica)
+        votes_before = net.replicas[LOCKED].stats["votes_sent"]
+        advance_one_view(net)
+        assert net.replicas[LOCKED].stats["votes_sent"] == votes_before
+
+
+class TestMarlinRecovers:
+    def test_same_scenario_commits_via_virtual_block(self):
+        net = build_unsafe_snapshot_scenario(MarlinReplica)
+        advance_one_view(net)
+        alive = net.replicas[1:]
+        heights = [r.ledger.committed_height for r in alive]
+        # Marlin commits past the stuck point: b2 (resurfaced through the
+        # R2 vc) and the virtual block above it.
+        assert min(heights) >= net.b2_height, f"Marlin failed to recover: {heights}"
+        new_leader = net.replicas[1]
+        assert new_leader.stats["case_v1"] == 1
+
+    def test_r2_vote_carries_locked_qc(self):
+        net = build_unsafe_snapshot_scenario(MarlinReplica)
+        net.delivered.clear()
+        advance_one_view(net)
+        assert net.replicas[LOCKED].stats["votes_r2"] == 1
+        r2_votes = [
+            p
+            for src, _, p in net.delivered
+            if isinstance(p, VoteMsg) and src == LOCKED and p.locked_qc is not None
+        ]
+        assert r2_votes and r2_votes[0].locked_qc.block.height == net.b2_height
+
+    def test_committed_chains_agree_after_recovery(self):
+        net = build_unsafe_snapshot_scenario(MarlinReplica)
+        advance_one_view(net)
+        length = min(len(r.ledger.committed_digests()) for r in net.replicas[1:])
+        digests = [tuple(r.ledger.committed_digests()[:length]) for r in net.replicas[1:]]
+        assert len(set(digests)) == 1
+
+    def test_recovery_continues_normally(self):
+        net = build_unsafe_snapshot_scenario(MarlinReplica)
+        advance_one_view(net)
+        leader_id = net.config.leader_of(max(net.views()))
+        net.submit(leader_id, [b"onwards"], client=90)
+        net.pump(drop=adversary_drop)
+        heights = [r.ledger.committed_height for r in net.replicas[1:]]
+        assert min(heights) > net.b2_height

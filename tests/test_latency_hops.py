@@ -1,0 +1,51 @@
+"""End-to-end latency phase counts (paper Section II).
+
+The paper: HotStuff's client-to-client latency is 9 one-way hops, the
+two-phase variants (Marlin) 7.  At very low load on a latency-dominated
+network the measured mean latencies must sit near those hop counts, and
+their ratio near 7/9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.harness.des_runtime import DESCluster
+from repro.harness.workload import ClosedLoopClients
+
+HOP = 0.040
+
+
+def measure(protocol: str) -> float:
+    experiment = ExperimentConfig(
+        cluster=ClusterConfig.for_f(1, batch_size=64),
+        network=NetworkProfile(one_way_latency=HOP, bandwidth_bps=1e9, nic_bps=1e10, jitter=0.0),
+        seed=2,
+    )
+    cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null", use_cost_model=False)
+    pool = ClosedLoopClients(cluster, num_clients=1, token_weight=1, warmup=3.0)
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    cluster.run(until=20.0)
+    cluster.assert_safety()
+    assert pool.completed_ops > 5
+    return pool.latency.mean()
+
+
+class TestHopCounts:
+    def test_marlin_seven_hops(self):
+        """request + PREPARE + vote + COMMIT + vote + DECIDE + reply = 7."""
+        latency = measure("marlin")
+        assert latency == pytest.approx(7 * HOP, rel=0.15)
+
+    def test_hotstuff_nine_hops(self):
+        """request + 4 leader phases + 3 vote phases + reply = 9."""
+        latency = measure("hotstuff")
+        assert latency == pytest.approx(9 * HOP, rel=0.15)
+
+    def test_ratio_seven_ninths(self):
+        marlin = measure("marlin")
+        hotstuff = measure("hotstuff")
+        assert marlin < hotstuff
+        assert marlin / hotstuff == pytest.approx(7.0 / 9.0, rel=0.12)

@@ -1,0 +1,166 @@
+"""View-change Cases V3 and R3 (paper Fig. 8c / Fig. 9).
+
+Case V3 arises when a previous view change died after forming *two*
+pre-prepareQCs of equal rank (one for a normal block, one for a virtual
+block — only possible because replicas may vote for both shadow
+proposals).  The next leader cannot know which one some correct replica
+prepare-voted (and locked under), so it extends *both*, again as shadow
+blocks.  Case R3 is the matching replica rule: a replica locked on one of
+the candidates votes for the proposal extending its locked block.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.block import Block
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.messages import Justify, PrePrepareMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.qc import BlockSummary, Phase
+from repro.consensus.rank import compare_qc_rank, Rank
+
+from tests.helpers import LocalNet, forge_qc
+
+
+@pytest.fixture
+def scenario():
+    """A view-2 pre-prepare that produced two equal-rank ppQCs, then a
+    view change into view 3 (leader r2)."""
+    net = LocalNet(MarlinReplica, n=4)
+    net.start()
+    net.submit(0, [b"base"])
+    net.pump()
+    crypto = net.crypto
+    qc_b1 = net.replicas[1].locked_qc  # prepareQC(h=1, view 1)
+
+    # The view-2 leader's (hypothetical) V1 shadow proposals:
+    normal = Block(
+        parent_link=qc_b1.block.digest,
+        parent_view=qc_b1.block.view,
+        view=2,
+        height=2,
+        operations=(),
+        justify_digest=qc_b1.digest,
+        proposer=1,
+    )
+    virtual = Block(
+        parent_link=None,
+        parent_view=qc_b1.view,
+        view=2,
+        height=3,
+        operations=(),
+        justify_digest=qc_b1.digest,
+        proposer=1,
+    )
+    normal_summary = BlockSummary.of(normal, justify_in_view=False)
+    virtual_summary = BlockSummary.of(virtual, justify_in_view=False)
+    ppqc_normal = forge_qc(crypto, Phase.PRE_PREPARE, 2, normal_summary)
+    ppqc_virtual = forge_qc(crypto, Phase.PRE_PREPARE, 2, virtual_summary)
+    # The virtual candidate's composite justify needs the vc for its
+    # parent: here the parent is the *normal* candidate's parent b1, one
+    # height below the virtual block (height 2 = 3 - 1)... i.e. the block
+    # certified by a prepareQC at the virtual's parent view.  Forge it.
+    b2_summary = BlockSummary(
+        digest=normal.digest,  # the height-2 sibling doubles as the vc target
+        view=2,
+        height=2,
+        parent_view=qc_b1.block.view,
+        justify_in_view=False,
+    )
+    vc = forge_qc(crypto, Phase.PREPARE, qc_b1.view, BlockSummary(
+        digest=normal.digest, view=1, height=2, parent_view=1, justify_in_view=True,
+    ))
+    # Move everyone to view 3 quietly.
+    for _ in range(2):
+        net.timeout_all(pump=False)
+        for ctx in net.contexts:
+            ctx.drain()
+    assert all(v == 3 for v in net.views())
+    return net, qc_b1, normal, virtual, ppqc_normal, ppqc_virtual, vc
+
+
+def _vc_msg(net, src: int, view: int, lb: BlockSummary, justify: Justify) -> ViewChangeMsg:
+    share = net.crypto.sign_vote(src, Phase.PREPARE, view, lb)
+    return ViewChangeMsg(view=view, last_voted=lb, justify=justify, share=share)
+
+
+class TestLeaderCaseV3:
+    def test_two_ppqcs_trigger_v3_shadow_proposals(self, scenario):
+        net, qc_b1, normal, virtual, ppqc_n, ppqc_v, vc = scenario
+        leader = net.replicas[2]
+        net.replicas[2].tree.add(normal)
+        lb = qc_b1.block
+        # Equal-rank check first (rank rule b/c: two same-view ppQCs tie).
+        assert compare_qc_rank(ppqc_n, ppqc_v) is Rank.EQUAL
+        leader.on_message(2, _vc_msg(net, 2, 3, BlockSummary.of(normal, justify_in_view=False), Justify(ppqc_n)))
+        leader.on_message(3, _vc_msg(net, 3, 3, BlockSummary.of(virtual, justify_in_view=False), Justify(ppqc_v, vc)))
+        leader.on_message(0, _vc_msg(net, 0, 3, lb, Justify(qc_b1)))
+        assert leader.stats["case_v3"] == 1
+        msg = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        assert len(msg.proposals) == 2 and msg.shadow
+        parents = {p.block.parent_link for p in msg.proposals}
+        assert parents == {ppqc_n.block.digest, ppqc_v.block.digest}
+        # The proposal extending the virtual candidate carries (qc, vc).
+        virtual_prop = next(
+            p for p in msg.proposals if p.block.parent_link == ppqc_v.block.digest
+        )
+        assert virtual_prop.justify.is_composite
+        assert virtual_prop.justify.vc == vc
+
+    def test_single_ppqc_is_case_v2(self, scenario):
+        net, qc_b1, normal, virtual, ppqc_n, ppqc_v, vc = scenario
+        leader = net.replicas[2]
+        lb = qc_b1.block
+        leader.on_message(2, _vc_msg(net, 2, 3, BlockSummary.of(normal, justify_in_view=False), Justify(ppqc_n)))
+        leader.on_message(3, _vc_msg(net, 3, 3, lb, Justify(qc_b1)))
+        leader.on_message(0, _vc_msg(net, 0, 3, lb, Justify(qc_b1)))
+        assert leader.stats["case_v2"] == 1
+        msg = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        assert len(msg.proposals) == 1
+        assert msg.proposals[0].block.parent_link == ppqc_n.block.digest
+
+
+class TestReplicaCaseR3:
+    def test_locked_replica_votes_for_its_candidate(self, scenario):
+        """A replica locked on prepareQC(normal-candidate) votes R3 for
+        the V3 proposal extending it, and refuses the other."""
+        net, qc_b1, normal, virtual, ppqc_n, ppqc_v, vc = scenario
+        crypto = net.crypto
+        leader = net.replicas[2]
+        replica = net.replicas[1]
+        # replica locked on a prepareQC for the normal candidate (it saw
+        # view 2 reach the prepare phase before dying).
+        normal_prep_summary = BlockSummary.of(normal, justify_in_view=False)
+        lock = forge_qc(crypto, Phase.PREPARE, 2, normal_prep_summary)
+        replica.locked_qc = lock
+        replica.last_voted = normal_prep_summary
+        replica.tree.add(normal)
+        # Leader assembles V3.
+        lb = qc_b1.block
+        leader.on_message(2, _vc_msg(net, 2, 3, BlockSummary.of(normal, justify_in_view=False), Justify(ppqc_n)))
+        leader.on_message(3, _vc_msg(net, 3, 3, BlockSummary.of(virtual, justify_in_view=False), Justify(ppqc_v, vc)))
+        leader.on_message(0, _vc_msg(net, 0, 3, lb, Justify(qc_b1)))
+        msg = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        replica.ctx.drain()
+        replica.on_message(2, msg)
+        votes = [p for _, p in replica.ctx.outbox if isinstance(p, VoteMsg)]
+        # Exactly one vote: R3 for the proposal extending block(lock).
+        assert len(votes) == 1
+        assert replica.stats["votes_r3"] == 1
+        voted = votes[0].block
+        assert voted.height == normal.height + 1
+
+    def test_unlocked_replica_votes_both_v3_proposals(self, scenario):
+        net, qc_b1, normal, virtual, ppqc_n, ppqc_v, vc = scenario
+        leader = net.replicas[2]
+        replica = net.replicas[3]
+        lb = qc_b1.block
+        leader.on_message(2, _vc_msg(net, 2, 3, BlockSummary.of(normal, justify_in_view=False), Justify(ppqc_n)))
+        leader.on_message(3, _vc_msg(net, 3, 3, BlockSummary.of(virtual, justify_in_view=False), Justify(ppqc_v, vc)))
+        leader.on_message(0, _vc_msg(net, 0, 3, lb, Justify(qc_b1)))
+        msg = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        replica.ctx.drain()
+        replica.on_message(2, msg)
+        votes = [p for _, p in replica.ctx.outbox if isinstance(p, VoteMsg)]
+        # R1 applies to both (rank(ppqc) >= rank(locked prepareQC@view1)).
+        assert len(votes) == 2

@@ -1,0 +1,330 @@
+"""Marlin view changes (paper Fig. 9): happy path, Cases V1/V2/V3, R1/R2/R3,
+virtual blocks, and shadow-block bandwidth sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.block import Block
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.messages import (
+    Justify,
+    PhaseMsg,
+    PrePrepareMsg,
+    ViewChangeMsg,
+    VoteMsg,
+)
+from repro.consensus.qc import BlockSummary, Phase
+
+from tests.helpers import LocalNet, forge_qc
+
+
+def booted_net(**kwargs) -> LocalNet:
+    net = LocalNet(MarlinReplica, n=4, **kwargs)
+    net.start()
+    net.submit(0, [b"a", b"b", b"c"])
+    net.pump()
+    assert net.heights()[0] >= 1
+    return net
+
+
+class TestHappyPath:
+    def test_crash_leader_happy_recovery(self):
+        net = booted_net()
+        net.crash(0)
+        net.timeout_all()
+        leader2 = net.replicas[1]
+        assert leader2.stats["happy_view_changes"] == 1
+        assert leader2.stats["unhappy_view_changes"] == 0
+        # New view makes progress.
+        before = net.heights()[1]
+        net.submit(1, [b"after-vc"], client=90)
+        net.pump()
+        heights = [h for i, h in enumerate(net.heights()) if i != 0]
+        assert len(set(heights)) == 1 and heights[0] > before
+
+    def test_happy_path_is_two_phases(self):
+        """No PRE-PREPARE message appears in a happy view change."""
+        net = booted_net()
+        net.crash(0)
+        net.delivered.clear()
+        net.timeout_all()
+        assert not any(isinstance(p, PrePrepareMsg) for _, _, p in net.delivered)
+        # The combined prepareQC drives a COMMIT broadcast directly.
+        commits = [
+            p for _, _, p in net.delivered
+            if isinstance(p, PhaseMsg) and p.phase == Phase.COMMIT and p.view == 2
+        ]
+        assert commits
+
+    def test_happy_qc_formed_in_new_view_for_old_block(self):
+        net = booted_net()
+        old_head = net.replicas[1].last_voted
+        net.crash(0)
+        net.timeout_all()
+        qc = net.replicas[1].high_qc.qc
+        assert qc.view >= 2  # formation view is the new view
+        assert qc.block.digest == old_head.digest or qc.block.height >= old_head.height
+
+    def test_force_unhappy_flag_skips_happy_path(self):
+        net = booted_net(force_unhappy=True)
+        net.crash(0)
+        net.delivered.clear()
+        net.timeout_all()
+        leader2 = net.replicas[1]
+        assert leader2.stats["unhappy_view_changes"] == 1
+        assert any(isinstance(p, PrePrepareMsg) for _, _, p in net.delivered)
+        net.submit(1, [b"post"], client=91)
+        net.pump()
+        heights = [h for i, h in enumerate(net.heights()) if i != 0]
+        assert min(heights) >= 2
+
+
+class TestUnhappyCases:
+    def test_divergent_lb_triggers_unhappy_path(self):
+        """Drop the last block's PREPARE to two replicas so lbs diverge."""
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        net.submit(0, [b"a"])
+        net.pump()
+        # Propose one more block, but only replica 1 sees the PREPARE.
+        net.submit(0, [b"hidden"], client=77)
+
+        def drop(src: int, dst: int, payload) -> bool:
+            return (
+                isinstance(payload, PhaseMsg)
+                and payload.phase == Phase.PREPARE
+                and payload.block is not None
+                and payload.block.height == 2
+                and dst in (2, 3)
+            )
+
+        net.pump(drop=drop)
+        assert net.replicas[1].last_voted.height == 2
+        assert net.replicas[2].last_voted.height == 1
+        net.crash(0)
+        net.timeout_all()
+        leader2 = net.replicas[1]
+        assert leader2.stats["unhappy_view_changes"] == 1
+        net.submit(1, [b"post"], client=78)
+        net.pump()
+        heights = [h for i, h in enumerate(net.heights()) if i != 0]
+        assert len(set(heights)) == 1 and heights[0] >= 2
+
+
+class TestCaseV1:
+    """Fig. 2c / Fig. 8a: the leader's snapshot hides a taller lb."""
+
+    def setup_scenario(self):
+        """Hand-build the leader-side state: highQCv = prepareQC(b1) while
+        some replica reports lb = b2 (height+1, same view)."""
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        net.submit(0, [b"a"])
+        net.pump()
+        self.net = net
+        self.crypto = net.crypto
+        leader = net.replicas[2]  # leader of view 3
+        self.qc_b1 = net.replicas[1].locked_qc  # prepareQC for height 1, view 1
+        assert self.qc_b1.block.height == 1
+        # b2: a block at height 2 that (we pretend) only one replica voted.
+        self.b2 = Block(
+            parent_link=self.qc_b1.block.digest,
+            parent_view=self.qc_b1.block.view,
+            view=1,
+            height=2,
+            operations=(),
+            justify_digest=self.qc_b1.digest,
+            proposer=0,
+        )
+        self.b2_summary = BlockSummary.of(self.b2, justify_in_view=True)
+        self.qc_b2 = forge_qc(self.crypto, Phase.PREPARE, 1, self.b2_summary)
+        # Advance everyone to view 3 (leader = replica 2) without pumping
+        # the generated VIEW-CHANGE traffic.
+        net.timeout_all(pump=False)
+        for ctx in net.contexts:
+            ctx.drain()
+        net.timeout_all(pump=False)
+        for ctx in net.contexts:
+            ctx.drain()
+        assert all(v == 3 for v in net.views())
+        return leader
+
+    def _vc(self, view: int, src: int, lb: BlockSummary, justify: Justify) -> ViewChangeMsg:
+        share = self.crypto.sign_vote(src, Phase.PREPARE, view, lb)
+        return ViewChangeMsg(view=view, last_voted=lb, justify=justify, share=share)
+
+    def test_leader_proposes_shadow_normal_plus_virtual(self):
+        leader = self.setup_scenario()
+        justify_b1 = Justify(self.qc_b1)
+        # Snapshot: r2 (leader), r3 report lb=b1; r0 reports lb=b2 but its
+        # justify is still qc(b1) — so highQCv = qc(b1), bv = b2 -> Case V1.
+        lb_b1 = self.qc_b1.block
+        leader.on_message(2, self._vc(3, 2, lb_b1, justify_b1))
+        leader.on_message(3, self._vc(3, 3, lb_b1, justify_b1))
+        leader.on_message(0, self._vc(3, 0, self.b2_summary, justify_b1))
+        assert leader.stats["case_v1"] == 1
+        sent = [p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg)]
+        assert len(sent) >= 1
+        msg = sent[0]
+        assert msg.shadow and len(msg.proposals) == 2
+        normal, virtual = msg.proposals
+        assert not normal.block.is_virtual
+        assert normal.block.height == 2
+        assert normal.block.parent_link == self.qc_b1.block.digest
+        assert virtual.block.is_virtual
+        assert virtual.block.height == 3  # qc.height + 2
+        assert virtual.block.parent_view == self.qc_b1.view
+
+    def test_shadow_blocks_share_payload_bytes(self):
+        leader = self.setup_scenario()
+        justify_b1 = Justify(self.qc_b1)
+        lb_b1 = self.qc_b1.block
+        # Give the leader a batch so the shadow saving is visible.
+        from repro.consensus.block import Operation
+
+        leader.pool.add(Operation(client_id=5, sequence=0, payload=b"z" * 64))
+        leader.on_message(2, self._vc(3, 2, lb_b1, justify_b1))
+        leader.on_message(3, self._vc(3, 3, lb_b1, justify_b1))
+        leader.on_message(0, self._vc(3, 0, self.b2_summary, justify_b1))
+        msg = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        both_full = sum(p.block.wire_size for p in msg.proposals)
+        justifies = sum(p.justify.wire_size for p in msg.proposals)
+        assert msg.wire_size < both_full + justifies + 8
+        assert msg.proposals[0].block.operations == msg.proposals[1].block.operations
+
+    def test_replica_locked_higher_votes_r2_with_attachment(self):
+        """The Fig. 2c punchline: p1 (locked on qc(b2)) votes only for the
+        virtual block and ships its lockedQC."""
+        leader = self.setup_scenario()
+        net = self.net
+        locked_replica = net.replicas[1]
+        locked_replica.locked_qc = self.qc_b2
+        locked_replica.last_voted = self.b2_summary
+        locked_replica.tree.add(self.b2)
+        # Build the leader's V1 pre-prepare.
+        justify_b1 = Justify(self.qc_b1)
+        lb_b1 = self.qc_b1.block
+        leader.on_message(2, self._vc(3, 2, lb_b1, justify_b1))
+        leader.on_message(3, self._vc(3, 3, lb_b1, justify_b1))
+        leader.on_message(0, self._vc(3, 0, self.b2_summary, justify_b1))
+        pre_prepare = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        locked_replica.ctx.drain()
+        locked_replica.on_message(2, pre_prepare)
+        votes = [p for _, p in locked_replica.ctx.outbox if isinstance(p, VoteMsg)]
+        assert len(votes) == 1  # R1 fails for both; R2 passes for virtual only
+        vote = votes[0]
+        assert vote.block.is_virtual
+        assert vote.locked_qc == self.qc_b2
+        assert locked_replica.stats["votes_r2"] == 1
+        assert locked_replica.stats["votes_r1"] == 0
+
+    def test_unlocked_replica_votes_both_shadow_proposals(self):
+        leader = self.setup_scenario()
+        net = self.net
+        follower = net.replicas[3]
+        justify_b1 = Justify(self.qc_b1)
+        lb_b1 = self.qc_b1.block
+        leader.on_message(2, self._vc(3, 2, lb_b1, justify_b1))
+        leader.on_message(3, self._vc(3, 3, lb_b1, justify_b1))
+        leader.on_message(0, self._vc(3, 0, self.b2_summary, justify_b1))
+        pre_prepare = next(p for _, p in leader.ctx.outbox if isinstance(p, PrePrepareMsg))
+        follower.ctx.drain()
+        follower.on_message(2, pre_prepare)
+        votes = [p for _, p in follower.ctx.outbox if isinstance(p, VoteMsg)]
+        assert len(votes) == 2
+        assert follower.stats["votes_r1"] == 2
+
+    def test_virtual_block_commits_with_composite_justify(self):
+        """Full V1 recovery: virtual pre-prepareQC + vc -> prepare ->
+        commit, committing b2 (the virtual block's real parent) too."""
+        leader = self.setup_scenario()
+        net = self.net
+        locked_replica = net.replicas[1]
+        locked_replica.locked_qc = self.qc_b2
+        locked_replica.last_voted = self.b2_summary
+        locked_replica.tree.add(self.b2)
+        justify_b1 = Justify(self.qc_b1)
+        lb_b1 = self.qc_b1.block
+        for ctx in net.contexts:
+            ctx.drain()
+        leader.on_message(2, self._vc(3, 2, lb_b1, justify_b1))
+        leader.on_message(3, self._vc(3, 3, lb_b1, justify_b1))
+        leader.on_message(0, self._vc(3, 0, self.b2_summary, justify_b1))
+        net.crash(0)  # r0 stays silent from here (the faulty replica)
+        net.pump()
+        # All alive replicas commit the virtual block and its parent b2.
+        for replica in (net.replicas[1], net.replicas[2], net.replicas[3]):
+            assert replica.ledger.committed_height >= 3
+            assert replica.ledger.is_committed(self.b2.digest)
+        net.submit(2, [b"more"], client=99)
+        net.pump()
+        assert net.replicas[2].ledger.committed_height >= 4
+
+
+class TestCaseV2:
+    def test_equal_lb_with_force_unhappy_runs_v2(self):
+        net = booted_net(force_unhappy=True)
+        net.crash(0)
+        net.delivered.clear()
+        net.timeout_all()
+        leader2 = net.replicas[1]
+        assert leader2.stats["case_v2"] == 1
+        msgs = [p for _, _, p in net.delivered if isinstance(p, PrePrepareMsg)]
+        assert msgs and len(msgs[0].proposals) == 1
+        assert not msgs[0].proposals[0].block.is_virtual
+
+
+class TestSuccessiveViewChanges:
+    def test_two_leader_crashes(self):
+        net = booted_net()
+        net.crash(0)
+        net.timeout_all()
+        net.submit(1, [b"v2-block"], client=95)
+        net.pump()
+        net.crash(1)
+        net.timeout_all()
+        net.submit(2, [b"v3-block"], client=96)
+        net.pump()
+        alive = [net.replicas[2], net.replicas[3]]
+        heights = [r.ledger.committed_height for r in alive]
+        assert len(set(heights)) == 1 and heights[0] >= 3
+        assert all(r.cview == 3 for r in alive)
+
+    def test_view_change_with_nothing_committed(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        net.crash(0)
+        net.timeout_all()
+        net.submit(1, [b"first"], client=97)
+        net.pump()
+        heights = [h for i, h in enumerate(net.heights()) if i != 0]
+        assert len(set(heights)) == 1 and heights[0] >= 1
+
+
+class TestViewChangeValidation:
+    def test_leader_ignores_stale_view_change(self):
+        net = booted_net()
+        leader = net.replicas[0]
+        before = {k: v for k, v in leader.stats.items() if k != "messages_handled"}
+        stale = ViewChangeMsg(view=1, last_voted=None, justify=None, share=None)
+        leader.on_message(1, stale)
+        after = {k: v for k, v in leader.stats.items() if k != "messages_handled"}
+        assert after == before
+
+    def test_leader_rejects_bad_share(self):
+        net = booted_net()
+        net.crash(0)
+        # Replica 1 becomes leader of view 2; feed it a VC with a bogus share.
+        leader2 = net.replicas[1]
+        lb = leader2.last_voted
+        bad = ViewChangeMsg(
+            view=2,
+            last_voted=lb,
+            justify=leader2.high_qc,
+            share=net.crypto.sign_vote(3, Phase.PREPARE, 7, lb),  # wrong view
+        )
+        leader2._advance_view(2)
+        bucket_before = len(leader2._vc_messages.get(2, {}))
+        leader2.on_message(3, bad)
+        assert len(leader2._vc_messages.get(2, {})) == bucket_before

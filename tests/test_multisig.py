@@ -1,0 +1,78 @@
+"""Quorum multi-signatures (the 'group of n signatures' instantiation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CryptoError, InvalidSignature
+from repro.crypto.multisig import MultiSigAccumulator, MultiSignature
+from repro.crypto.signatures import SigningKey
+
+
+def _sig(i: int, msg: bytes = b"m"):
+    return SigningKey.from_seed(f"k{i}").sign(msg)
+
+
+class TestAccumulator:
+    def test_quorum_detection(self):
+        acc = MultiSigAccumulator(group_size=4, quorum=3)
+        assert not acc.add(0, _sig(0))
+        assert not acc.add(1, _sig(1))
+        assert acc.add(2, _sig(2))
+        assert acc.complete
+
+    def test_duplicates_ignored(self):
+        acc = MultiSigAccumulator(group_size=4, quorum=3)
+        acc.add(0, _sig(0))
+        acc.add(0, _sig(0))
+        assert acc.count == 1
+
+    def test_first_signature_wins(self):
+        acc = MultiSigAccumulator(group_size=4, quorum=1)
+        first = _sig(0, b"a")
+        acc.add(0, first)
+        acc.add(0, _sig(0, b"b"))
+        assert acc.finish().signatures[0][1] == first
+
+    def test_finish_before_quorum_raises(self):
+        acc = MultiSigAccumulator(group_size=4, quorum=3)
+        acc.add(0, _sig(0))
+        with pytest.raises(InvalidSignature):
+            acc.finish()
+
+    def test_finish_takes_exactly_quorum(self):
+        acc = MultiSigAccumulator(group_size=4, quorum=3)
+        for i in range(4):
+            acc.add(i, _sig(i))
+        bundle = acc.finish()
+        assert len(bundle.signatures) == 3
+
+    def test_out_of_group_signer(self):
+        acc = MultiSigAccumulator(group_size=4, quorum=3)
+        with pytest.raises(CryptoError):
+            acc.add(7, _sig(7))
+
+    def test_invalid_quorum(self):
+        with pytest.raises(CryptoError):
+            MultiSigAccumulator(group_size=4, quorum=5)
+
+
+class TestMultiSignature:
+    def test_authenticator_count(self):
+        bundle = MultiSignature(
+            signatures=((0, _sig(0)), (1, _sig(1)), (2, _sig(2))), group_size=4
+        )
+        assert bundle.num_authenticators == 3
+        assert bundle.signers == {0, 1, 2}
+
+    def test_wire_size_includes_bitmap(self):
+        bundle = MultiSignature(signatures=((0, _sig(0)),), group_size=16)
+        assert bundle.wire_size == 64 + 2
+
+    def test_duplicate_signer_rejected(self):
+        with pytest.raises(CryptoError):
+            MultiSignature(signatures=((0, _sig(0)), (0, _sig(0))), group_size=4)
+
+    def test_out_of_range_signer_rejected(self):
+        with pytest.raises(CryptoError):
+            MultiSignature(signatures=((9, _sig(9)),), group_size=4)

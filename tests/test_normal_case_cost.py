@@ -1,0 +1,74 @@
+"""Measured normal-case message complexity per committed block.
+
+Theory for ``n`` replicas per committed block (broadcasts include the
+leader's self-delivery):
+
+* event-driven Marlin : prepare(n) + votes(n-ish) + commit(n) + votes + decide(n) ~ 5n
+* event-driven HotStuff: two more phases ~ 7n
+* chained variants    : one broadcast + one vote round ~ 2n (+ flush tails)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.scenarios import measure_normal_case_cost
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return {
+        protocol: measure_normal_case_cost(protocol, 1)
+        for protocol in ("marlin", "hotstuff", "chained-marlin", "chained-hotstuff")
+    }
+
+
+class TestPerBlockCost:
+    def test_marlin_beats_hotstuff(self, costs):
+        assert costs["marlin"].messages_per_block < costs["hotstuff"].messages_per_block
+        assert (
+            costs["marlin"].authenticators_per_block
+            < costs["hotstuff"].authenticators_per_block
+        )
+
+    def test_ratio_tracks_phase_count(self, costs):
+        """Marlin/HotStuff message ratio ~ 5/7 (two of three QC rounds)."""
+        ratio = costs["marlin"].messages_per_block / costs["hotstuff"].messages_per_block
+        assert 0.6 < ratio < 0.85
+
+    def test_chaining_cuts_messages(self, costs):
+        assert (
+            costs["chained-marlin"].messages_per_block
+            < costs["marlin"].messages_per_block
+        )
+        assert (
+            costs["chained-hotstuff"].messages_per_block
+            < costs["hotstuff"].messages_per_block
+        )
+
+    def test_chained_marlin_cheapest(self, costs):
+        cheapest = min(costs.values(), key=lambda c: c.messages_per_block)
+        assert cheapest.protocol == "chained-marlin"
+
+    def test_absolute_counts_near_theory(self, costs):
+        n = costs["marlin"].n
+        assert costs["marlin"].messages_per_block == pytest.approx(5 * n, rel=0.25)
+        assert costs["hotstuff"].messages_per_block == pytest.approx(7 * n, rel=0.25)
+
+    def test_bytes_dominated_by_payload(self, costs):
+        """All variants ship each block's payload once per replica, so
+        bytes/block are within a few percent of each other."""
+        values = [c.bytes_per_block for c in costs.values()]
+        assert max(values) / min(values) < 1.1
+
+    def test_enough_blocks_measured(self, costs):
+        assert all(c.blocks >= 20 for c in costs.values())
+
+
+class TestScaling:
+    def test_messages_scale_linearly_with_n(self):
+        small = measure_normal_case_cost("marlin", 1)
+        large = measure_normal_case_cost("marlin", 2)
+        per_n_small = small.messages_per_block / small.n
+        per_n_large = large.messages_per_block / large.n
+        assert per_n_large == pytest.approx(per_n_small, rel=0.3)

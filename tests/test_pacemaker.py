@@ -1,0 +1,112 @@
+"""Pacemaker behaviour: back-off, progress resets, rotation mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.replica_base import TIMER_VIEW
+
+from tests.helpers import LocalNet
+
+
+class TestExponentialBackoff:
+    def test_timeout_grows_geometrically(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start(pump=False)
+        for ctx in net.contexts:
+            ctx.drain()
+        replica = net.replicas[3]
+        base = replica.config.base_timeout
+        multiplier = replica.config.timeout_multiplier
+        timeouts = [replica.current_timeout]
+        for _ in range(4):
+            net.contexts[3].fire_timer(TIMER_VIEW)
+            net.contexts[3].drain()
+            timeouts.append(replica.current_timeout)
+        assert timeouts[0] == base
+        for previous, current in zip(timeouts, timeouts[1:]):
+            assert current == pytest.approx(previous * multiplier)
+
+    def test_backoff_capped_at_max(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start(pump=False)
+        for ctx in net.contexts:
+            ctx.drain()
+        replica = net.replicas[3]
+        for _ in range(40):
+            net.contexts[3].fire_timer(TIMER_VIEW)
+            net.contexts[3].drain()
+        assert replica.current_timeout == replica.config.max_timeout
+
+    def test_progress_resets_backoff(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        # Back off replica 1's timer a couple of times without real VCs.
+        replica = net.replicas[1]
+        replica.current_timeout = replica.config.base_timeout * 4
+        net.submit(0, [b"progress"])
+        net.pump()
+        assert replica.current_timeout == replica.config.base_timeout
+
+    def test_timer_rearmed_on_view_entry(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        for replica_id, ctx in enumerate(net.contexts):
+            assert TIMER_VIEW in ctx.timers, f"r{replica_id} has no view timer"
+
+
+class TestRotationMode:
+    def make_net(self):
+        net = LocalNet(MarlinReplica, n=4, rotation_interval=1.0)
+        net.start()
+        return net
+
+    def test_rotation_fires_regardless_of_progress(self):
+        net = self.make_net()
+        # Commit progress...
+        net.submit(0, [b"op"])
+        net.pump()
+        replica = net.replicas[1]
+        deadline, _ = replica.ctx.timers[TIMER_VIEW]
+        # ...must NOT defer the rotation deadline.
+        net.submit(0, [b"op2"], client=60)
+        net.pump()
+        deadline_after, _ = replica.ctx.timers[TIMER_VIEW]
+        assert deadline_after == deadline
+
+    def test_rotation_advances_views(self):
+        net = self.make_net()
+        net.timeout_all()
+        assert all(v == 2 for v in net.views())
+        net.timeout_all()
+        assert all(v == 3 for v in net.views())
+
+    def test_rotation_does_not_back_off(self):
+        net = self.make_net()
+        replica = net.replicas[2]
+        before = replica.current_timeout
+        net.timeout_all()
+        assert replica.current_timeout == before
+
+
+class TestViewMonotonicity:
+    def test_advance_view_never_goes_backwards(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        replica = net.replicas[1]
+        replica._advance_view(5)
+        assert replica.cview == 5
+        replica._advance_view(3)
+        assert replica.cview == 5
+        replica._advance_view(5)
+        assert replica.cview == 5
+
+    def test_view_change_stat_counts(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        replica = net.replicas[1]
+        start = replica.stats["view_changes"]
+        replica._advance_view(2)
+        replica._advance_view(2)  # duplicate: no-op
+        assert replica.stats["view_changes"] == start + 1

@@ -1,0 +1,95 @@
+"""Result persistence and regression comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.results import Delta, ResultStore, compare, diff
+
+
+class TestResultStore:
+    def test_record_and_roundtrip(self, tmp_path):
+        store = ResultStore(meta={"run": "test"})
+        store.record("fig10g.marlin.f1", 68560.0)
+        store.record_many("vc", {"happy_ms": 128.0, "unhappy_ms": 295.4})
+        path = str(tmp_path / "results.json")
+        store.save(path)
+        loaded = ResultStore.load(path)
+        assert loaded.metrics == store.metrics
+        assert loaded.meta == {"run": "test"}
+        assert len(loaded) == 3
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            ResultStore().record("", 1.0)
+
+    def test_atomic_save(self, tmp_path):
+        import os
+
+        store = ResultStore()
+        store.record("x", 1.0)
+        path = str(tmp_path / "r.json")
+        store.save(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestDiffCompare:
+    def make_pair(self):
+        before = ResultStore()
+        before.record("a", 100.0)
+        before.record("b", 50.0)
+        before.record("gone", 1.0)
+        after = ResultStore()
+        after.record("a", 102.0)  # +2%
+        after.record("b", 40.0)  # -20%
+        after.record("new", 7.0)
+        return before, after
+
+    def test_diff_lists_all_changes(self):
+        before, after = self.make_pair()
+        deltas = {d.name: d for d in diff(before, after)}
+        assert set(deltas) == {"a", "b", "gone", "new"}
+        assert deltas["gone"].kind == "removed"
+        assert deltas["new"].kind == "added"
+        assert deltas["b"].relative == pytest.approx(-0.2)
+
+    def test_compare_applies_tolerance(self):
+        before, after = self.make_pair()
+        significant = {d.name for d in compare(before, after, tolerance=0.05)}
+        assert significant == {"b", "gone", "new"}  # 'a' within 5%
+
+    def test_compare_identical_is_empty(self):
+        store = ResultStore()
+        store.record("x", 3.0)
+        assert compare(store, store) == []
+
+    def test_render_formats(self):
+        assert "new" in Delta("m", None, 1.0).render()
+        assert "was" in Delta("m", 1.0, None).render()
+        assert "%" in Delta("m", 1.0, 2.0).render()
+
+
+class TestCliIntegration:
+    def test_compare_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = ResultStore()
+        a.record("tput", 100.0)
+        b = ResultStore()
+        b.record("tput", 50.0)
+        pa, pb = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        a.save(pa)
+        b.save(pb)
+        with pytest.raises(SystemExit):
+            main(["compare", pa, pb])
+        assert "-50.0%" in capsys.readouterr().out
+
+    def test_compare_within_tolerance_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = ResultStore()
+        a.record("tput", 100.0)
+        pa = str(tmp_path / "a.json")
+        a.save(pa)
+        assert main(["compare", pa, pa]) == 0
+        assert "no changes" in capsys.readouterr().out

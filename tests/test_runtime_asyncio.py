@@ -1,0 +1,161 @@
+"""The asyncio runtime: live event-loop clusters, storage, the KV app."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime.app import AppError, KVStateMachine
+from repro.runtime.cluster import LocalCluster
+from repro.storage.kvstore import KVStore
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestKVStateMachine:
+    def _apply(self, app: KVStateMachine, payload: bytes) -> None:
+        from repro.consensus.block import Operation, genesis_block
+
+        app.apply(genesis_block(), Operation(client_id=1, sequence=app.applied, payload=payload))
+
+    def test_set_get(self):
+        app = KVStateMachine()
+        self._apply(app, KVStateMachine.encode_set(b"k", b"v"))
+        assert app.get(b"k") == b"v"
+
+    def test_delete(self):
+        app = KVStateMachine()
+        self._apply(app, KVStateMachine.encode_set(b"k", b"v"))
+        self._apply(app, KVStateMachine.encode_delete(b"k"))
+        assert app.get(b"k") is None
+
+    def test_add_creates_and_increments(self):
+        app = KVStateMachine()
+        self._apply(app, KVStateMachine.encode_add(b"acct", 10))
+        self._apply(app, KVStateMachine.encode_add(b"acct", -3))
+        assert app.balance(b"acct") == 7
+
+    def test_noop_payload(self):
+        app = KVStateMachine()
+        self._apply(app, b"")
+        assert app.applied == 1
+
+    def test_malformed_payload(self):
+        app = KVStateMachine()
+        with pytest.raises(AppError):
+            self._apply(app, b"\xff\xffgarbage")
+
+    def test_unknown_command(self):
+        from repro.common.encoding import encode
+
+        app = KVStateMachine()
+        with pytest.raises(AppError):
+            self._apply(app, encode(["frobnicate", b"x"]))
+
+    def test_state_digest_deterministic(self):
+        a, b = KVStateMachine(), KVStateMachine()
+        for app in (a, b):
+            self._apply(app, KVStateMachine.encode_set(b"k1", b"v1"))
+            self._apply(app, KVStateMachine.encode_set(b"k2", b"v2"))
+        assert a.state_digest() == b.state_digest()
+
+    def test_persists_to_store(self):
+        store = KVStore()
+        app = KVStateMachine(store=store)
+        self._apply(app, KVStateMachine.encode_set(b"k", b"v"))
+        assert store.get(b"app:k") == b"v"
+
+
+class TestLocalCluster:
+    def test_commit_and_agree(self):
+        async def main():
+            async with LocalCluster(f=1, protocol="marlin", batch_size=8) as cluster:
+                for i in range(10):
+                    await cluster.submit(KVStateMachine.encode_set(b"k%d" % i, b"v"))
+                await cluster.wait_for_height(2, timeout=15)
+                digests = cluster.state_digests()
+                assert len(set(digests[:3])) == 1
+
+        run(main())
+
+    def test_hotstuff_protocol(self):
+        async def main():
+            async with LocalCluster(f=1, protocol="hotstuff", batch_size=8) as cluster:
+                for i in range(5):
+                    await cluster.submit(b"")
+                await cluster.wait_for_height(1, timeout=15)
+
+        run(main())
+
+    def test_leader_crash_recovery(self):
+        async def main():
+            async with LocalCluster(
+                f=1, protocol="marlin", batch_size=8, base_timeout=0.4
+            ) as cluster:
+                await cluster.submit(b"")
+                await cluster.wait_for_height(1, timeout=15)
+                cluster.crash(0)
+                await asyncio.sleep(0.05)
+                for i in range(5):
+                    await cluster.submit(b"", client_id=11_000)
+                before = max(cluster.committed_heights()[1:])
+                deadline = asyncio.get_event_loop().time() + 20
+                while True:
+                    heights = cluster.committed_heights()[1:]
+                    if min(heights) > before:
+                        break
+                    if asyncio.get_event_loop().time() > deadline:
+                        raise TimeoutError(f"stuck at {heights}")
+                    await cluster.submit(b"", client_id=11_001)
+                    await asyncio.sleep(0.05)
+                assert all(n.replica.cview >= 2 for n in cluster.nodes[1:])
+
+        run(main())
+
+    def test_network_delay_still_commits(self):
+        async def main():
+            async with LocalCluster(
+                f=1, protocol="marlin", batch_size=8, network_delay=0.005
+            ) as cluster:
+                for i in range(5):
+                    await cluster.submit(b"")
+                await cluster.wait_for_height(1, timeout=15)
+
+        run(main())
+
+    def test_persistence_to_disk(self, tmp_path):
+        async def main():
+            dirs = [str(tmp_path / f"node{i}") for i in range(4)]
+            async with LocalCluster(f=1, protocol="marlin", batch_size=4, data_dirs=dirs) as cluster:
+                await cluster.submit(KVStateMachine.encode_set(b"durable", b"yes"))
+                await cluster.wait_for_height(1, timeout=15)
+            # After shutdown, node 1's store still holds the app state.
+            reopened = KVStore(directory=dirs[1])
+            assert reopened.get(b"app:durable") == b"yes"
+            assert reopened.get(b"meta:committed_height") is not None
+            reopened.close()
+
+        run(main())
+
+    def test_f2_cluster(self):
+        async def main():
+            async with LocalCluster(f=2, protocol="marlin", batch_size=8) as cluster:
+                for i in range(5):
+                    await cluster.submit(b"")
+                await cluster.wait_for_height(1, timeout=20)
+
+        run(main())
+
+
+class TestTcpCluster:
+    def test_tcp_transport_commits(self):
+        async def main():
+            async with LocalCluster(f=1, protocol="marlin", transport="tcp", batch_size=4) as cluster:
+                for i in range(4):
+                    await cluster.submit(b"")
+                await cluster.wait_for_height(1, timeout=20)
+
+        run(main())

@@ -1,0 +1,89 @@
+"""Property: safety holds under arbitrary message loss.
+
+Hypothesis drives the LocalNet pump with randomly chosen drop decisions;
+whatever subset of messages is lost, no two replicas may ever commit
+conflicting blocks, and committed prefixes must agree.  (Liveness is NOT
+asserted — with unlucky drops nothing commits, which is fine.)
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.chained import ChainedMarlinReplica
+from repro.consensus.hotstuff.replica import HotStuffReplica
+from repro.consensus.marlin.replica import MarlinReplica
+
+from tests.helpers import LocalNet
+
+
+def run_with_drops(replica_cls, drop_bits: list[bool], crash_leader: bool) -> LocalNet:
+    net = LocalNet(replica_cls, n=4)
+    bits = iter(drop_bits)
+
+    def drop(src: int, dst: int, payload) -> bool:
+        # Never drop loopback (a replica always hears itself), otherwise
+        # consume the hypothesis-provided decision stream.
+        if src == dst:
+            return False
+        return next(bits, False)
+
+    net.start(pump=False)
+    net.pump(drop=drop)
+    net.submit(0, [b"a", b"b", b"c"])
+    net.pump(drop=drop)
+    if crash_leader:
+        net.crash(0)
+    net.timeout_all(pump=False)
+    net.pump(drop=drop)
+    leader = net.config.leader_of(max(net.views()))
+    if leader not in net.crashed:
+        net.submit(leader, [b"post"], client=77)
+        net.pump(drop=drop)
+    return net
+
+
+def assert_agreement(net: LocalNet) -> None:
+    committed = [
+        replica.ledger.committed_digests()
+        for i, replica in enumerate(net.replicas)
+        if i not in net.crashed
+    ]
+    shortest = min(len(c) for c in committed)
+    prefixes = {tuple(c[:shortest]) for c in committed}
+    # All committed sequences must be prefixes of one another.
+    for chain in committed:
+        for other in committed:
+            overlap = min(len(chain), len(other))
+            assert chain[:overlap] == other[:overlap]
+    assert len(prefixes) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    drop_bits=st.lists(st.booleans(), min_size=0, max_size=400),
+    crash_leader=st.booleans(),
+)
+def test_marlin_safe_under_random_drops(drop_bits, crash_leader):
+    net = run_with_drops(MarlinReplica, drop_bits, crash_leader)
+    assert_agreement(net)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    drop_bits=st.lists(st.booleans(), min_size=0, max_size=400),
+    crash_leader=st.booleans(),
+)
+def test_hotstuff_safe_under_random_drops(drop_bits, crash_leader):
+    net = run_with_drops(HotStuffReplica, drop_bits, crash_leader)
+    assert_agreement(net)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    drop_bits=st.lists(st.booleans(), min_size=0, max_size=400),
+    crash_leader=st.booleans(),
+)
+def test_chained_marlin_safe_under_random_drops(drop_bits, crash_leader):
+    net = run_with_drops(ChainedMarlinReplica, drop_bits, crash_leader)
+    assert_agreement(net)

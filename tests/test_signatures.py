@@ -1,0 +1,94 @@
+"""Conventional (simulated ECDSA) signatures and the key registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CryptoError, InvalidSignature
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SIGNATURE_SIZE, Signature, SigningKey
+
+
+class TestSigningKey:
+    def test_sign_verify_roundtrip(self):
+        key = SigningKey.from_seed("alice")
+        sig = key.sign(b"message")
+        key.verify(b"message", sig)  # must not raise
+
+    def test_deterministic(self):
+        key = SigningKey.from_seed("alice")
+        assert key.sign(b"m") == key.sign(b"m")
+
+    def test_different_messages_different_sigs(self):
+        key = SigningKey.from_seed("alice")
+        assert key.sign(b"m1") != key.sign(b"m2")
+
+    def test_wrong_message_rejected(self):
+        key = SigningKey.from_seed("alice")
+        sig = key.sign(b"m1")
+        with pytest.raises(InvalidSignature):
+            key.verify(b"m2", sig)
+
+    def test_wrong_key_rejected(self):
+        alice = SigningKey.from_seed("alice")
+        bob = SigningKey.from_seed("bob")
+        sig = alice.sign(b"m")
+        with pytest.raises(InvalidSignature):
+            bob.verify(b"m", sig)
+
+    def test_tampered_signature_rejected(self):
+        key = SigningKey.from_seed("alice")
+        sig = key.sign(b"m")
+        tampered = Signature(bytes([sig.data[0] ^ 1]) + sig.data[1:])
+        with pytest.raises(InvalidSignature):
+            key.verify(b"m", tampered)
+
+    def test_signature_size(self):
+        assert len(SigningKey.from_seed("x").sign(b"m").data) == SIGNATURE_SIZE
+
+    def test_bad_signature_length(self):
+        with pytest.raises(CryptoError):
+            Signature(b"short")
+
+    def test_verify_key_matches(self):
+        key = SigningKey.from_seed("alice")
+        assert key.verify_key().matches(key.sign(b"m"))
+        other = SigningKey.from_seed("bob")
+        assert not other.verify_key().matches(key.sign(b"m"))
+
+
+class TestKeyRegistry:
+    def test_per_replica_keys_distinct(self):
+        registry = KeyRegistry(4, 3)
+        keys = {registry.signing_key(i).secret for i in range(4)}
+        assert len(keys) == 4
+
+    def test_sign_and_verify(self):
+        registry = KeyRegistry(4, 3)
+        sig = registry.sign(1, b"m")
+        registry.verify(1, b"m", sig)
+        assert registry.is_valid(1, b"m", sig)
+        assert not registry.is_valid(2, b"m", sig)
+
+    def test_unknown_replica(self):
+        registry = KeyRegistry(4, 3)
+        with pytest.raises(CryptoError):
+            registry.sign(9, b"m")
+
+    def test_deterministic_from_seed(self):
+        r1 = KeyRegistry(4, 3, seed=b"s")
+        r2 = KeyRegistry(4, 3, seed=b"s")
+        assert r1.signing_key(0).secret == r2.signing_key(0).secret
+
+    def test_different_seeds_differ(self):
+        r1 = KeyRegistry(4, 3, seed=b"s1")
+        r2 = KeyRegistry(4, 3, seed=b"s2")
+        assert r1.signing_key(0).secret != r2.signing_key(0).secret
+
+    def test_threshold_paths(self):
+        registry = KeyRegistry(4, 3)
+        shares = [registry.partial_sign(i, b"m") for i in range(3)]
+        for share in shares:
+            registry.verify_partial(b"m", share)
+        sig = registry.combine(b"m", shares)
+        registry.verify_threshold(b"m", sig)

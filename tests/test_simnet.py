@@ -1,0 +1,210 @@
+"""The simulated network: latency, shaping, partitions, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import NetworkProfile
+from repro.common.errors import UnknownPeer
+from repro.des.simulator import Simulator
+from repro.network.simnet import SimNetwork
+
+
+def make_net(sim: Simulator, **profile_kwargs) -> SimNetwork:
+    defaults = dict(one_way_latency=0.040, bandwidth_bps=1e9, nic_bps=1e10, jitter=0.0)
+    defaults.update(profile_kwargs)
+    return SimNetwork(sim, NetworkProfile(**defaults))
+
+
+class Sink:
+    def __init__(self) -> None:
+        self.received: list[tuple[float, int, object]] = []
+
+    def handler(self, sim: Simulator):
+        def handle(src: int, payload: object) -> None:
+            self.received.append((sim.now, src, payload))
+
+        return handle
+
+
+class TestDelivery:
+    def test_latency_applied(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.send(0, 1, "hello")
+        sim.run()
+        assert len(sink.received) == 1
+        when, src, payload = sink.received[0]
+        assert src == 0 and payload == "hello"
+        assert when == pytest.approx(0.040, abs=1e-3)
+
+    def test_loopback_fast(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.send(0, 0, "self")
+        sim.run()
+        assert sink.received[0][0] < 1e-3
+
+    def test_unknown_destination(self):
+        sim = Simulator()
+        net = make_net(sim)
+        net.register(0, lambda s, p: None)
+        with pytest.raises(UnknownPeer):
+            net.send(0, 9, "x")
+
+    def test_fifo_per_link(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        for i in range(10):
+            net.send(0, 1, i)
+        sim.run()
+        assert [p for _, _, p in sink.received] == list(range(10))
+
+
+class TestBandwidth:
+    def test_link_serialisation_delay(self):
+        # 1 MB at 8 Mbps link = 1 second of serialisation.
+        sim = Simulator()
+        net = make_net(sim, bandwidth_bps=8e6)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+
+        class Big:
+            wire_size = 1_000_000
+
+        net.send(0, 1, Big())
+        sim.run()
+        assert sink.received[0][0] == pytest.approx(1.0 + 0.040, rel=0.02)
+
+    def test_nic_shared_across_destinations(self):
+        # Broadcasting two 1 MB messages through an 8 Mbps NIC serialises
+        # them back to back: the second arrives ~1 s after the first.
+        sim = Simulator()
+        net = make_net(sim, bandwidth_bps=1e12, nic_bps=8e6)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.register(2, sink.handler(sim))
+
+        class Big:
+            wire_size = 1_000_000
+
+        net.send(0, 1, Big())
+        net.send(0, 2, Big())
+        sim.run()
+        times = sorted(t for t, _, _ in sink.received)
+        assert times[1] - times[0] == pytest.approx(1.0, rel=0.02)
+
+    def test_unshaped_endpoint_skips_queues(self):
+        sim = Simulator()
+        net = make_net(sim, bandwidth_bps=8e6, nic_bps=8e6)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.set_unshaped(0)
+
+        class Big:
+            wire_size = 1_000_000
+
+        net.send(0, 1, Big())
+        sim.run()
+        assert sink.received[0][0] == pytest.approx(0.040, abs=1e-3)
+
+
+class TestFaults:
+    def test_cut_and_heal(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.cut(0, 1)
+        net.send(0, 1, "lost")
+        sim.run()
+        assert sink.received == []
+        assert net.stats.dropped == 1
+        net.heal(0, 1)
+        net.send(0, 1, "found")
+        sim.run()
+        assert [p for _, _, p in sink.received] == ["found"]
+
+    def test_partition(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        for i in range(4):
+            net.register(i, sink.handler(sim))
+        net.partition([0, 1], [2, 3])
+        net.send(0, 2, "x")
+        net.send(3, 1, "y")
+        net.send(0, 1, "ok")
+        sim.run()
+        assert [p for _, _, p in sink.received] == ["ok"]
+        net.heal_all()
+        net.send(0, 2, "back")
+        sim.run()
+        assert sink.received[-1][2] == "back"
+
+    def test_loss_rate(self):
+        sim = Simulator(seed=1)
+        net = make_net(sim, loss_rate=0.5)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        for _ in range(200):
+            net.send(0, 1, "m")
+        sim.run()
+        assert 40 < len(sink.received) < 160
+
+
+class TestAccounting:
+    def test_stats_counts(self):
+        sim = Simulator()
+        net = make_net(sim)
+        net.register(0, lambda s, p: None)
+        net.register(1, lambda s, p: None)
+        net.send(0, 1, "a")
+        net.send(0, 1, "b")
+        assert net.stats.messages == 2
+        assert net.stats.bytes > 0
+        assert net.stats.per_pair[(0, 1)] == 2
+
+    def test_recording_toggle(self):
+        sim = Simulator()
+        net = make_net(sim)
+        net.register(0, lambda s, p: None)
+        net.register(1, lambda s, p: None)
+        net.set_recording(False)
+        net.send(0, 1, "a")
+        assert net.stats.messages == 0
+
+    def test_tap_sees_deliveries(self):
+        sim = Simulator()
+        net = make_net(sim)
+        seen = []
+        net.register(0, lambda s, p: None)
+        net.register(1, lambda s, p: None)
+        net.add_tap(lambda env: seen.append(env.payload))
+        net.send(0, 1, "x")
+        sim.run()
+        assert seen == ["x"]
+
+    def test_extra_link_latency(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.link(0, 1).extra_latency = 0.5
+        net.send(0, 1, "slow")
+        sim.run()
+        assert sink.received[0][0] == pytest.approx(0.540, abs=1e-2)

@@ -1,0 +1,211 @@
+"""The discrete-event simulator core, timers and processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.process import Process
+from repro.des.simulator import SimulationError, Simulator
+from repro.des.timers import Timer, TimerWheel
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order: list[str] = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order: list[int] = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen: list[float] = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        fired: list[float] = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert fired == []
+        sim.run(until=10.0)
+        assert fired == [5.0]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired: list[str] = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_from_events(self):
+        sim = Simulator()
+        order: list[str] = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule(0.1, rearm)
+        sim.run(max_events=50)
+        assert sim.events_processed == 50
+
+    def test_determinism_across_runs(self):
+        def run_once(seed: int) -> list[float]:
+            sim = Simulator(seed=seed)
+            log: list[float] = []
+
+            def tick():
+                log.append(sim.now + sim.rng.random())
+                if len(log) < 10:
+                    sim.schedule(sim.rng.uniform(0, 1), tick)
+
+            sim.schedule(0.0, tick)
+            sim.run()
+            return log
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)
+
+    def test_step(self):
+        sim = Simulator()
+        fired: list[int] = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+
+class TestTimers:
+    def test_timer_fires(self):
+        sim = Simulator()
+        fired: list[float] = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        fired: list[float] = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired: list[float] = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_wheel_named_timers(self):
+        sim = Simulator()
+        fired: list[str] = []
+        wheel = TimerWheel(sim)
+        wheel.set("a", 1.0, lambda: fired.append("a"))
+        wheel.set("b", 2.0, lambda: fired.append("b"))
+        wheel.cancel("a")
+        sim.run()
+        assert fired == ["b"]
+
+    def test_wheel_rearm_replaces_callback(self):
+        sim = Simulator()
+        fired: list[str] = []
+        wheel = TimerWheel(sim)
+        wheel.set("t", 1.0, lambda: fired.append("old"))
+        wheel.set("t", 1.0, lambda: fired.append("new"))
+        sim.run()
+        assert fired == ["new"]
+
+
+class TestProcess:
+    def test_cpu_serialises_work(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        end1 = process.charge(1.0)
+        end2 = process.charge(2.0)
+        assert end1 == pytest.approx(1.0)
+        assert end2 == pytest.approx(3.0)
+        assert process.cpu_busy_total == pytest.approx(3.0)
+
+    def test_run_after_cpu(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        done: list[float] = []
+        process.run_after_cpu(0.5, lambda: done.append(sim.now))
+        process.run_after_cpu(0.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_crash_drops_callbacks(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        done: list[float] = []
+        process.run_after(1.0, lambda: done.append(sim.now))
+        process.crash()
+        sim.run()
+        assert done == []
+        assert not process.alive
+
+    def test_recover(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        process.crash()
+        process.recover()
+        done: list[float] = []
+        process.run_after(1.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0]
+
+    def test_cpu_idle_gap(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        done: list[float] = []
+        sim.schedule(5.0, lambda: process.run_after_cpu(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [pytest.approx(6.0)]
+
+    def test_negative_charge_rejected(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        with pytest.raises(ValueError):
+            process.charge(-1.0)

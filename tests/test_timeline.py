@@ -1,0 +1,109 @@
+"""The timeline tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.harness.des_runtime import DESCluster
+from repro.harness.timeline import Timeline, describe
+from repro.harness.workload import ClosedLoopClients
+
+
+@pytest.fixture
+def traced_run():
+    experiment = ExperimentConfig(
+        cluster=ClusterConfig.for_f(1, batch_size=64, base_timeout=0.5),
+        network=NetworkProfile.lan(),
+        seed=51,
+    )
+    cluster = DESCluster(experiment, protocol="marlin", crypto_mode="null")
+    timeline = Timeline().attach(cluster)
+    pool = ClosedLoopClients(cluster, num_clients=8, token_weight=1, target="all")
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    cluster.crash_at(0, 1.0)
+    cluster.run(until=4.0)
+    cluster.assert_safety()
+    return cluster, timeline
+
+
+class TestTimeline:
+    def test_records_protocol_phases(self, traced_run):
+        _, timeline = traced_run
+        counts = timeline.counts()
+        assert counts.get("prepare", 0) > 0
+        assert counts.get("vote:prepare", 0) > 0
+        assert counts.get("commit", 0) > 0
+        assert counts.get("view-change", 0) > 0
+        assert counts.get("COMMIT", 0) > 0
+
+    def test_client_traffic_excluded_by_default(self, traced_run):
+        _, timeline = traced_run
+        counts = timeline.counts()
+        assert "requests" not in counts
+        assert "replies" not in counts
+
+    def test_time_ordering_and_window(self, traced_run):
+        _, timeline = traced_run
+        events = timeline.filtered(start=1.0, end=2.0)
+        assert events == sorted(events, key=lambda e: (e.time, e.src, e.dst))
+        assert all(1.0 <= e.time <= 2.0 for e in events)
+
+    def test_kind_filter(self, traced_run):
+        _, timeline = traced_run
+        only_votes = timeline.filtered(kinds={"vote:prepare", "vote:commit"})
+        assert only_votes
+        assert all(e.kind.startswith("vote:") for e in only_votes)
+
+    def test_render_produces_readable_lines(self, traced_run):
+        _, timeline = traced_run
+        text = timeline.render(limit=10)
+        lines = text.splitlines()
+        assert len(lines) == 12  # header + rule + 10 events
+        assert "detail" in lines[0]
+        assert "->" in lines[2]
+
+    def test_manual_annotation(self, traced_run):
+        _, timeline = traced_run
+        timeline.record(2.5, "NOTE", "leader crashed here", actor=0)
+        notes = timeline.filtered(kinds={"NOTE"})
+        assert len(notes) == 1 and "crashed" in notes[0].detail
+
+    def test_view_change_visible_after_crash(self, traced_run):
+        _, timeline = traced_run
+        vcs = timeline.filtered(kinds={"view-change"})
+        assert any(e.time > 1.0 for e in vcs)
+
+
+class TestDescribe:
+    def test_describe_covers_all_message_types(self):
+        from repro.consensus.block import genesis_block
+        from repro.consensus.messages import (
+            ClientRequestBatch,
+            Justify,
+            PhaseMsg,
+            ReplyBatch,
+            SyncRequest,
+            SyncResponse,
+            ViewChangeMsg,
+            VoteMsg,
+        )
+        from repro.consensus.qc import BlockSummary, Phase, genesis_qc
+        from repro.crypto.hashing import digest_of
+
+        qc = genesis_qc(genesis_block())
+        summary = BlockSummary(digest=digest_of("x"), view=1, height=1, parent_view=0)
+        cases = [
+            PhaseMsg(phase=Phase.COMMIT, view=1, justify=Justify(qc)),
+            VoteMsg(phase=Phase.PREPARE, view=1, block=summary, share=None),
+            ViewChangeMsg(view=2, last_voted=summary, justify=Justify(qc), share=None),
+            SyncRequest(digests=(digest_of("d"),)),
+            SyncResponse(blocks=()),
+            ClientRequestBatch(operations=()),
+            ReplyBatch(replica=0, block_digest=digest_of("b"), op_keys=(), num_ops=3, reply_size=150),
+            "unknown-payload",
+        ]
+        for payload in cases:
+            kind, detail = describe(payload)
+            assert isinstance(kind, str) and kind
