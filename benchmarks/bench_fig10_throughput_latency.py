@@ -18,6 +18,7 @@ from repro.harness.scenarios import (
     peak_at_latency_cap,
     throughput_latency_curve,
 )
+from repro.obs.observer import RunObservability
 
 FIGURES = {
     1: "fig10a",
@@ -35,13 +36,18 @@ def test_throughput_latency_curve(f, once, benchmark):
 
     def run():
         curves = {}
+        phases = {}
         for protocol in ("marlin", "hotstuff"):
+            # Metrics-only observability (no tracing): the per-phase
+            # duration histograms accumulate across the whole sweep.
+            obs = RunObservability(trace=False)
             curves[protocol] = throughput_latency_curve(
-                protocol, f, default_client_sweep(f)
+                protocol, f, default_client_sweep(f), observability=obs
             )
-        return curves
+            phases[protocol] = obs.phase_latency_summary()
+        return curves, phases
 
-    curves = once(run)
+    curves, phases = once(run)
 
     rows = []
     for protocol, curve in curves.items():
@@ -62,6 +68,20 @@ def test_throughput_latency_curve(f, once, benchmark):
             rows,
         )
     )
+    phase_rows = []
+    for protocol, summary in phases.items():
+        for phase, stats in sorted(summary.items()):
+            phase_rows.append(
+                [protocol, phase, ms(stats["mean"]), ms(stats["p99"]), str(int(stats["count"]))]
+            )
+    if phase_rows:
+        print(
+            format_table(
+                f"{figure}: block-phase latency breakdown (f={f})",
+                ["protocol", "phase", "mean ms", "p99 ms", "n"],
+                phase_rows,
+            )
+        )
     marlin_peak = peak_at_latency_cap(curves["marlin"])
     hotstuff_peak = peak_at_latency_cap(curves["hotstuff"])
     print(

@@ -34,7 +34,7 @@ def main() -> None:
     print(f"mean end-to-end latency       : {summary['mean_latency'] * 1000:.1f} ms")
     print(f"p99 latency                   : {summary['p99_latency'] * 1000:.1f} ms")
     leader = cluster.replicas[0]
-    print(f"view changes                  : {leader.stats['view_changes']} (bootstrap only)")
+    print(f"views entered                 : {leader.stats['views_entered']} (bootstrap only)")
     print(f"blocks committed              : {leader.stats['blocks_committed']}")
     assert len(set(heights)) == 1, "all replicas agree on the committed chain"
     print("OK: all replicas agree.")

@@ -9,9 +9,12 @@ Usage (installed, or ``python -m repro``):
     python -m repro rotate     --crashed 3
     python -m repro table1     --f 2
     python -m repro fuzz       --seed 7 --protocol chained-marlin
+    python -m repro trace      --protocol marlin --n 4 --out trace.json
+    python -m repro metrics    --protocol marlin --f 1 --json metrics.json
 
 Every command prints a small report; exit code 0 means the run completed
-and passed the safety audit.
+and passed the safety audit.  ``--log-level debug`` surfaces the
+replicas' structured logs on stderr.
 """
 
 from __future__ import annotations
@@ -20,15 +23,34 @@ import argparse
 import sys
 
 from repro.harness.report import format_table, ktx, ms
+from repro.obs.log import LOG_LEVELS, configure_cli_logging, get_logger
+
+log = get_logger("repro.cli")
 
 
 def _cmd_point(args: argparse.Namespace) -> None:
     from repro.harness.scenarios import run_load_point
 
+    observability = None
+    if args.metrics_out:
+        from repro.obs.observer import RunObservability
+
+        observability = RunObservability(trace=False)
     result = run_load_point(
-        args.protocol, args.f, args.clients, sim_time=args.sim_time, warmup=args.warmup
+        args.protocol, args.f, args.clients, sim_time=args.sim_time, warmup=args.warmup,
+        observability=observability,
     )
     print(f"{args.protocol} f={args.f}: {result.as_row()}")
+    if result.phase_latency:
+        for phase, stats in sorted(result.phase_latency.items()):
+            print(
+                f"  {phase:<12} mean={stats['mean'] * 1000:7.2f} ms  "
+                f"p50={stats['p50'] * 1000:7.2f} ms  "
+                f"p99={stats['p99'] * 1000:7.2f} ms  (n={int(stats['count'])})"
+            )
+    if observability is not None:
+        observability.write_json(args.metrics_out)
+        log.info("wrote %s", args.metrics_out)
 
 
 def _cmd_curve(args: argparse.Namespace) -> None:
@@ -66,7 +88,7 @@ def _cmd_curve(args: argparse.Namespace) -> None:
                     [args.protocol, args.f, p.clients, f"{p.throughput_tps:.1f}",
                      f"{p.mean_latency:.6f}", f"{p.p99_latency:.6f}"]
                 )
-        print(f"wrote {args.csv}")
+        log.info("wrote %s", args.csv)
 
 
 def _cmd_peak(args: argparse.Namespace) -> None:
@@ -85,7 +107,7 @@ def _cmd_peak(args: argparse.Namespace) -> None:
         store = ResultStore(meta={"experiment": "peak", "f": str(args.f)})
         store.record_many(f"peak.f{args.f}", peaks)
         store.save(args.save)
-        print(f"wrote {args.save}")
+        log.info("wrote %s", args.save)
 
 
 def _cmd_compare(args: argparse.Namespace) -> None:
@@ -161,6 +183,74 @@ def _cmd_table1(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import run_traced_scenario
+
+    f = max(1, (args.n - 1) // 3)
+    cluster, obs = run_traced_scenario(
+        args.protocol,
+        f=f,
+        seed=args.seed,
+        sim_time=args.sim_time,
+        crash_leader_at=args.crash_at,
+        force_unhappy=args.unhappy,
+    )
+    obs.write_chrome_trace(args.out)
+    committed = [
+        s for s in obs.tracer.spans_named("block") if s.meta.get("committed")
+    ]
+    n = cluster.experiment.cluster.num_replicas
+    print(
+        f"{args.protocol} n={n} f={f} seed={args.seed}: "
+        f"{len(obs.tracer.spans)} spans, {len(obs.tracer.instants)} instants, "
+        f"{len(committed)} committed block spans"
+    )
+    for phase, stats in sorted(obs.phase_latency_summary().items()):
+        print(
+            f"  {phase:<12} mean={stats['mean'] * 1000:7.2f} ms  "
+            f"p99={stats['p99'] * 1000:7.2f} ms  (n={int(stats['count'])})"
+        )
+    print(f"wrote {args.out} (open it at https://ui.perfetto.dev)")
+    if args.text:
+        print(obs.tracer.render_text(limit=args.limit))
+
+
+def _cmd_metrics(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import run_load_point
+    from repro.obs.observer import RunObservability
+
+    obs = RunObservability(trace=False)
+    result = run_load_point(
+        args.protocol, args.f, args.clients, sim_time=args.sim_time,
+        warmup=args.warmup, observability=obs,
+    )
+    print(f"{args.protocol} f={args.f}: {result.as_row()}")
+    cluster_view = obs.registry.aggregate(drop_labels=("replica",)).snapshot()
+    rows = []
+    for name, series_list in sorted(cluster_view["counters"].items()):
+        total = sum(series["value"] for series in series_list)
+        rows.append([name, f"{int(total)}"])
+    print(format_table("cluster counters", ["metric", "total"], rows))
+    if result.phase_latency:
+        phase_rows = [
+            [phase, f"{s['mean'] * 1000:.2f}", f"{s['p50'] * 1000:.2f}",
+             f"{s['p99'] * 1000:.2f}", str(int(s["count"]))]
+            for phase, s in sorted(result.phase_latency.items())
+        ]
+        print(
+            format_table(
+                "phase latency", ["phase", "mean ms", "p50 ms", "p99 ms", "n"], phase_rows
+            )
+        )
+    if args.json:
+        obs.write_json(args.json)
+        log.info("wrote %s", args.json)
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(obs.registry.render_prometheus())
+        log.info("wrote %s", args.prom)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> None:
     from repro.harness.failures import fuzz_schedule
 
@@ -178,6 +268,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Marlin (DSN 2022) reproduction experiments",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=LOG_LEVELS,
+        help="stderr logging level for the run (default: warning)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -202,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--clients", type=int, default=16384)
     p.add_argument("--warmup", type=float, default=7.0)
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics registry (per-replica + cluster) to this JSON file",
+    )
     p.set_defaults(func=_cmd_point)
 
     p = sub.add_parser("curve", help="throughput-latency sweep (Fig. 10a-f)")
@@ -236,6 +337,36 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, protocol=False)
     p.set_defaults(func=_cmd_table1)
 
+    p = sub.add_parser("trace", help="export a Chrome-trace of one observed run")
+    p.add_argument(
+        "--protocol",
+        default="marlin",
+        choices=[
+            "marlin", "hotstuff", "chained-marlin", "chained-hotstuff",
+            "fast-hotstuff", "insecure",
+        ],
+    )
+    p.add_argument("--n", type=int, default=4, help="cluster size (f = (n-1)//3)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sim-time", type=float, default=5.0)
+    p.add_argument("--out", default="trace.json", help="Chrome trace_event output path")
+    p.add_argument(
+        "--crash-at", type=float, default=None,
+        help="crash the view-1 leader at this time to capture a view change",
+    )
+    p.add_argument("--unhappy", action="store_true", help="force the pre-prepare path")
+    p.add_argument("--text", action="store_true", help="also print the plain-text trace")
+    p.add_argument("--limit", type=int, default=None, help="cap the text trace's rows")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("metrics", help="run one load point and report its metrics")
+    common(p)
+    p.add_argument("--clients", type=int, default=4096)
+    p.add_argument("--warmup", type=float, default=7.0)
+    p.add_argument("--json", default=None, help="write the metrics snapshot to JSON")
+    p.add_argument("--prom", default=None, help="write Prometheus text exposition")
+    p.set_defaults(func=_cmd_metrics)
+
     p = sub.add_parser("fuzz", help="one randomly-adversarial schedule")
     common(p)
     p.add_argument("--seed", type=int, default=0)
@@ -269,6 +400,7 @@ def _cmd_explore(args: argparse.Namespace) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_cli_logging(args.log_level)
     args.func(args)
     return 0
 

@@ -63,6 +63,9 @@ class FastHotStuffReplica(MarlinReplica):
         self._leader_ready = True
         self._outstanding_prepare = block.digest
         self.stats["proposals_sent"] += 1
+        self.obs.view_change_event("agg-new-view", view, proofs=len(messages))
+        self.obs.block_proposed(block.digest, view, block.height)
+        self.obs.phase_begin(block.digest, "prepare", view, block.height)
         self.ctx.broadcast(
             AggregateNewView(
                 view=view,
@@ -127,6 +130,9 @@ class FastHotStuffReplica(MarlinReplica):
             return
         self.ctx.charge(self.costs.verify_block(block))
         self.tree.add(block)
+        self.obs.view_change_event("agg-unlock-vote", msg.view, unlocked=True)
+        self.obs.phase_begin(summary.digest, "prepare", msg.view, summary.height)
+        self.obs.view_change_done(msg.view)
         share = self.crypto.sign_vote(self.id, Phase.PREPARE, msg.view, summary)
         self._send_vote(
             src, VoteMsg(phase=Phase.PREPARE, view=msg.view, block=summary, share=share)

@@ -92,6 +92,7 @@ class HotStuffReplica(ReplicaBase):
             share=None,
         )
         self.ctx.send(self.leader_of(view), message)
+        self.obs.view_change_event("new-view-sent", view, leader=self.leader_of(view))
 
     def _on_new_view(self, src: int, msg: ViewChangeMsg) -> None:
         if msg.view < self.cview or self.leader_of(msg.view) != self.id:
@@ -123,6 +124,7 @@ class HotStuffReplica(ReplicaBase):
         if _vh(best) > _vh(self.prepare_qc):
             self.prepare_qc = best
         self._leader_ready = True
+        self.obs.view_change_event("new-view-quorum", view)
         self._maybe_propose(initial=True)
 
     # ------------------------------------------------------------ proposing
@@ -150,6 +152,8 @@ class HotStuffReplica(ReplicaBase):
         self._verified_blocks.add(block.digest)
         self._outstanding_prepare = block.digest
         self.stats["proposals_sent"] += 1
+        self.obs.block_proposed(block.digest, self.cview, block.height)
+        self.obs.phase_begin(block.digest, "prepare", self.cview, block.height)
         self.ctx.broadcast(
             PhaseMsg(phase=Phase.PREPARE, view=self.cview, justify=Justify(qc), block=block)
         )
@@ -211,6 +215,8 @@ class HotStuffReplica(ReplicaBase):
         if _vh(qc) > _vh(self.prepare_qc):
             self.prepare_qc = qc
         summary = BlockSummary.of(block, justify_in_view=qc.view == block.view)
+        self.obs.phase_begin(summary.digest, "prepare", msg.view, block.height)
+        self.obs.view_change_done(msg.view)
         share = self.crypto.sign_vote(self.id, Phase.PREPARE, msg.view, summary)
         self._send_vote(
             src, VoteMsg(phase=Phase.PREPARE, view=msg.view, block=summary, share=share)
@@ -232,6 +238,8 @@ class HotStuffReplica(ReplicaBase):
             return
         if _vh(qc) > _vh(self.prepare_qc):
             self.prepare_qc = qc
+        self.obs.phase_end(qc.block.digest, "prepare")
+        self.obs.phase_begin(qc.block.digest, "pre-commit", msg.view, qc.block.height)
         share = self.crypto.sign_vote(self.id, Phase.PRECOMMIT, msg.view, qc.block)
         self._send_vote(
             src, VoteMsg(phase=Phase.PRECOMMIT, view=msg.view, block=qc.block, share=share)
@@ -252,6 +260,8 @@ class HotStuffReplica(ReplicaBase):
             return
         if _vh(qc) > _vh(self.locked_qc):
             self.locked_qc = qc
+        self.obs.phase_end(qc.block.digest, "pre-commit")
+        self.obs.phase_begin(qc.block.digest, "commit", msg.view, qc.block.height)
         share = self.crypto.sign_vote(self.id, Phase.COMMIT, msg.view, qc.block)
         self._send_vote(
             src, VoteMsg(phase=Phase.COMMIT, view=msg.view, block=qc.block, share=share)
@@ -283,6 +293,7 @@ class HotStuffReplica(ReplicaBase):
             return
         self.ctx.charge(self.costs.combine(self.config.quorum))
         if vote.phase == Phase.PREPARE:
+            self.obs.qc_formed(qc.block.digest, "prepare", vote.view)
             if self._outstanding_prepare == vote.block.digest:
                 self._outstanding_prepare = None
             if _vh(qc) > _vh(self.prepare_qc):
@@ -292,10 +303,12 @@ class HotStuffReplica(ReplicaBase):
             )
             self._maybe_propose()
         elif vote.phase == Phase.PRECOMMIT:
+            self.obs.qc_formed(qc.block.digest, "pre-commit", vote.view)
             self.ctx.broadcast(
                 PhaseMsg(phase=Phase.COMMIT, view=vote.view, justify=Justify(qc))
             )
         elif vote.phase == Phase.COMMIT:
+            self.obs.qc_formed(qc.block.digest, "commit", vote.view)
             self.ctx.broadcast(
                 PhaseMsg(phase=Phase.DECIDE, view=vote.view, justify=Justify(qc))
             )

@@ -136,6 +136,7 @@ class MarlinReplica(ReplicaBase):
             view=view, last_voted=self.last_voted, justify=self.high_qc, share=share
         )
         self.ctx.send(self.leader_of(view), message)
+        self.obs.view_change_event("view-change-sent", view, leader=self.leader_of(view))
 
     def _catch_up(self, view: int, proof: QuorumCertificate) -> bool:
         """Jump to ``view`` when a QC proves a quorum entered it."""
@@ -185,8 +186,10 @@ class MarlinReplica(ReplicaBase):
 
         if not self.force_unhappy and self._try_happy_path(view, messages):
             self.stats["happy_view_changes"] += 1
+            self.obs.view_change_event("happy-qc", view)
             return
         self.stats["unhappy_view_changes"] += 1
+        self.obs.view_change_event("pre-prepare-start", view)
         self._run_pre_prepare_cases(view, messages)
 
     def _try_happy_path(self, view: int, messages: dict[int, ViewChangeMsg]) -> bool:
@@ -270,6 +273,7 @@ class MarlinReplica(ReplicaBase):
         for proposal in proposals:
             self.tree.add(proposal.block)
         self.stats["proposals_sent"] += 1
+        self.obs.view_change_event("pre-prepare-broadcast", view, proposals=len(proposals))
         self.ctx.broadcast(
             PrePrepareMsg(view=view, proposals=tuple(proposals), shadow=len(proposals) == 2)
         )
@@ -328,6 +332,7 @@ class MarlinReplica(ReplicaBase):
         attach: QuorumCertificate | None = None
         if compare_qc_rank(qc, locked).at_least:
             self.stats["votes_r1"] += 1  # Case R1
+            case = "R1"
         elif (
             justify.vc is None
             and qc.phase == Phase.PREPARE
@@ -337,13 +342,18 @@ class MarlinReplica(ReplicaBase):
         ):
             self.stats["votes_r2"] += 1  # Case R2: also ship lockedQC.
             attach = locked
+            case = "R2"
         elif qc.phase == Phase.PRE_PREPARE and qc.block.digest == locked.block.digest:
             self.stats["votes_r3"] += 1  # Case R3
+            case = "R3"
         else:
             return
 
         self.tree.add(block)
         summary = proposal.summary
+        self.obs.view_change_event(
+            "pre-prepare-vote", view, case=case, virtual=block.is_virtual
+        )
         share = self.crypto.sign_vote(self.id, Phase.PRE_PREPARE, view, summary)
         self._send_vote(
             leader,
@@ -386,6 +396,7 @@ class MarlinReplica(ReplicaBase):
         if qc is not None:
             self.ctx.charge(self.costs.combine(self.config.quorum))
             self._pending_ppqcs.setdefault(view, []).append(qc)
+            self.obs.qc_formed(qc.block.digest, "pre-prepare", view)
         self._try_start_prepare(view)
 
     def _try_start_prepare(self, view: int) -> None:
@@ -408,6 +419,8 @@ class MarlinReplica(ReplicaBase):
             self._leader_ready = True
             self._outstanding_prepare = qc.block.digest
             self.stats["proposals_sent"] += 1
+            self.obs.block_proposed(qc.block.digest, view, qc.block.height)
+            self.obs.phase_begin(qc.block.digest, "prepare", view, qc.block.height)
             # Case N2 re-proposes by reference: the block travelled in the
             # PRE-PREPARE broadcast, so this PREPARE carries only the QC.
             self.ctx.broadcast(
@@ -420,6 +433,7 @@ class MarlinReplica(ReplicaBase):
         if qc is None:
             return
         self.ctx.charge(self.costs.combine(self.config.quorum))
+        self.obs.qc_formed(qc.block.digest, "prepare", vote.view)
         if self._outstanding_prepare == vote.block.digest:
             self._outstanding_prepare = None
         if compare_qc_rank(qc, self.high_qc.qc) is Rank.HIGHER:
@@ -433,6 +447,7 @@ class MarlinReplica(ReplicaBase):
         if qc is None:
             return
         self.ctx.charge(self.costs.combine(self.config.quorum))
+        self.obs.qc_formed(qc.block.digest, "commit", vote.view)
         self.ctx.broadcast(PhaseMsg(phase=Phase.DECIDE, view=vote.view, justify=Justify(qc)))
 
     # ================================================== normal case phases
@@ -454,6 +469,8 @@ class MarlinReplica(ReplicaBase):
         self._verified_blocks.add(block.digest)
         self._outstanding_prepare = block.digest
         self.stats["proposals_sent"] += 1
+        self.obs.block_proposed(block.digest, self.cview, block.height)
+        self.obs.phase_begin(block.digest, "prepare", self.cview, block.height)
         self.ctx.broadcast(
             PhaseMsg(phase=Phase.PREPARE, view=self.cview, justify=Justify(qc), block=block)
         )
@@ -516,6 +533,8 @@ class MarlinReplica(ReplicaBase):
                 self.ctx.charge(self.costs.verify_block(block))
                 self._verified_blocks.add(block.digest)
             self.tree.add(block)
+        self.obs.phase_begin(summary.digest, "prepare", msg.view, summary.height)
+        self.obs.view_change_done(msg.view)
         share = self.crypto.sign_vote(self.id, Phase.PREPARE, msg.view, summary)
         self._send_vote(
             src, VoteMsg(phase=Phase.PREPARE, view=msg.view, block=summary, share=share)
@@ -538,6 +557,9 @@ class MarlinReplica(ReplicaBase):
         self._verify_justify_sigs(msg.justify)
         if not self.crypto.qc_is_valid(qc):
             return
+        self.obs.phase_end(qc.block.digest, "prepare")
+        self.obs.phase_begin(qc.block.digest, "commit", msg.view, qc.block.height)
+        self.obs.view_change_done(msg.view)
         share = self.crypto.sign_vote(self.id, Phase.COMMIT, msg.view, qc.block)
         self._send_vote(
             src, VoteMsg(phase=Phase.COMMIT, view=msg.view, block=qc.block, share=share)

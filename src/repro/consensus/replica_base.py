@@ -34,6 +34,8 @@ from repro.consensus.messages import (
 )
 from repro.consensus.qc import Phase, QuorumCertificate, genesis_qc
 from repro.consensus.votes import VoteCollector
+from repro.obs.log import replica_logger
+from repro.obs.observer import NULL_OBS, NullReplicaObs
 
 CommitListener = Callable[[Block, float], None]
 
@@ -75,8 +77,13 @@ class ReplicaBase(ABC):
         self._sync_inflight: set[bytes] = set()
         self._sync_attempts: dict[bytes, int] = {}
 
-        # Statistics read by experiments.
+        # Statistics read by experiments.  ``views_entered`` counts every
+        # view advance (bootstrap, catch-up, rotation included);
+        # ``view_changes`` counts only timeout/failure-triggered changes,
+        # so failure experiments (Fig. 10i/10j) are not polluted by
+        # normal rotation or catch-up.
         self.stats: dict[str, int] = {
+            "views_entered": 0,
             "view_changes": 0,
             "timeouts": 0,
             "blocks_committed": 0,
@@ -86,8 +93,22 @@ class ReplicaBase(ABC):
             "proposals_sent": 0,
         }
         self.view_entered_at: float = 0.0
+        # Observability: a no-op observer by default; the harness swaps in
+        # a real one via attach_observer().  Zero behavioural impact.
+        self.obs: NullReplicaObs = NULL_OBS
+        self.log = replica_logger(self.protocol_name, replica_id, lambda: self.cview)
 
     # ------------------------------------------------------------ plumbing
+
+    @property
+    def protocol_name(self) -> str:
+        """Short protocol label for logs and metric labels."""
+        return type(self).__name__.removesuffix("Replica").lower()
+
+    def attach_observer(self, obs: NullReplicaObs) -> None:
+        """Install a real observer (metrics + tracing) for this replica."""
+        self.obs = obs
+        obs.bind(self.ctx)
 
     @property
     @abstractmethod
@@ -109,11 +130,12 @@ class ReplicaBase(ABC):
         keeps the protocol uniform: view 1's leader assembles its first
         ``highQC`` exactly like any later view's leader.
         """
-        self._advance_view(1)
+        self._advance_view(1, reason="start")
 
     def on_message(self, src: int, payload: Any) -> None:
         """Single entry point for every inbound message."""
         self.stats["messages_handled"] += 1
+        self.obs.message_handled(payload)
         self.ctx.charge(self.costs.handle_message())
         handler = self.handlers.get(type(payload))
         if handler is None:
@@ -133,13 +155,26 @@ class ReplicaBase(ABC):
     def leader_of(self, view: int) -> int:
         return self.config.leader_of(view)
 
-    def _advance_view(self, new_view: int | None = None) -> None:
+    def _advance_view(self, new_view: int | None = None, *, reason: str = "advance") -> None:
+        """Enter a higher view.
+
+        ``reason`` labels the cause for statistics and tracing: "start"
+        (bootstrap), "timeout" (pacemaker fired — a rotation tick in
+        rotating-leader mode, a real failure otherwise), "catch-up" (a QC
+        proved a quorum moved on), or "quorum" (leader assembled n - f
+        view-change messages).  Only non-rotation timeouts count as view
+        changes; every advance counts as a view entered.
+        """
         target = new_view if new_view is not None else self.cview + 1
         if target <= self.cview:
             return
         self.cview = target
-        self.stats["view_changes"] += 1
+        self.stats["views_entered"] += 1
+        if reason == "timeout" and self.rotation_interval is None:
+            self.stats["view_changes"] += 1
         self.view_entered_at = self.ctx.now
+        self.obs.view_entered(target, reason)
+        self.log.debug("entering view %d (%s)", target, reason)
         self.collector.discard_view(target - 1)
         self._arm_view_timer()
         self._enter_view(target)
@@ -152,12 +187,15 @@ class ReplicaBase(ABC):
 
     def _on_view_timeout(self) -> None:
         self.stats["timeouts"] += 1
+        self.obs.view_timeout(self.cview)
         if self.rotation_interval is None:
             self.current_timeout = min(
                 self.current_timeout * self.config.timeout_multiplier,
                 self.config.max_timeout,
             )
-        self._advance_view()
+        self._advance_view(
+            reason="rotation" if self.rotation_interval is not None else "timeout"
+        )
 
     def _on_progress(self) -> None:
         """Commit progress observed: reset back-off, rearm the timer.
@@ -235,6 +273,7 @@ class ReplicaBase(ABC):
     def _on_block_committed(self, block: Block) -> None:
         self.stats["blocks_committed"] += 1
         self.stats["ops_committed"] += len(block.operations)
+        self.obs.block_committed(block.digest, block.height, len(block.operations))
         self.pool.forget(block.operations)
         now = self.ctx.now
         for listener in self.commit_listeners:
@@ -255,6 +294,7 @@ class ReplicaBase(ABC):
         self._sync_inflight.add(digest)
         attempt = self._sync_attempts.get(digest, 0)
         self._sync_attempts[digest] = attempt + 1
+        self.obs.sync_requested(attempt)
         target = (self.leader_of(self.cview) + attempt) % self.config.num_replicas
         if target == self.id:
             target = (target + 1) % self.config.num_replicas
@@ -327,6 +367,7 @@ class ReplicaBase(ABC):
 
     def _send_vote(self, dst: int, vote: Any) -> None:
         self.stats["votes_sent"] += 1
+        self.obs.vote_sent(getattr(vote, "phase", None))
         self.ctx.charge(self.costs.sign_vote())
         self.ctx.send(dst, vote)
 

@@ -115,14 +115,23 @@ class DESCluster:
         force_unhappy: bool = False,
         forward_requests: bool = True,
         use_cost_model: bool = True,
+        observability: Any | None = None,
     ) -> None:
         if protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {protocol!r}; pick from {sorted(PROTOCOLS)}")
         self.experiment = experiment
         self.protocol = protocol
+        #: Optional repro.obs.observer.RunObservability shared by the
+        #: network (traffic counters) and every replica (metrics + spans).
+        self.observability = observability
         cluster = experiment.cluster
         self.sim = Simulator(seed=experiment.seed)
-        self.network = SimNetwork(self.sim, experiment.network, WireSizer())
+        self.network = SimNetwork(
+            self.sim,
+            experiment.network,
+            WireSizer(),
+            metrics=observability.net if observability is not None else None,
+        )
         self.crypto = self._make_crypto(crypto_mode, cluster.num_replicas, cluster.quorum)
         if use_cost_model:
             self.costs: ZeroCostModel = PaperCostModel(
@@ -150,6 +159,10 @@ class DESCluster:
             if issubclass(replica_cls, MarlinReplica):
                 kwargs["force_unhappy"] = force_unhappy
             replica = replica_cls(**kwargs)
+            if observability is not None:
+                replica.attach_observer(
+                    observability.replica_obs(replica_id, replica.protocol_name)
+                )
             replica.commit_listeners.append(self.auditor.listener_for(replica_id))
             self.processes.append(process)
             self.replicas.append(replica)

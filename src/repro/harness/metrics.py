@@ -23,13 +23,30 @@ class LatencyRecorder:
         if self.window_start <= when <= self.window_end:
             self.samples.append((when, latency, weight))
 
-    def _expanded(self) -> list[float]:
-        # Weighted percentile without materialising per-tx entries: repeat
-        # each sample min(weight, cap) times to bound memory.
-        out: list[float] = []
-        for _, latency, weight in self.samples:
-            out.extend([latency] * min(weight, 32))
-        return out
+    def _weighted_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over the weighted samples.
+
+        Walks the latency-sorted samples accumulating weight until the
+        target rank — no per-operation entries are materialised, and
+        heavy samples (large batches) carry their full weight rather
+        than a capped one.  With all weights 1 this matches
+        :func:`repro.common.utils.percentile` exactly.
+        """
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        ordered = sorted(self.samples, key=lambda s: s[1])
+        if pct == 0.0:
+            return ordered[0][1]
+        total = self.count
+        index = min(max(1, int(round(pct / 100.0 * total + 0.5)) - 1), total - 1)
+        cumulative = 0
+        for _, latency, weight in ordered:
+            cumulative += weight
+            if cumulative > index:
+                return latency
+        return ordered[-1][1]
 
     @property
     def count(self) -> int:
@@ -42,10 +59,10 @@ class LatencyRecorder:
         return sum(lat * w for _, lat, w in self.samples) / total_weight
 
     def p50(self) -> float:
-        return percentile(self._expanded(), 50.0)
+        return self._weighted_percentile(50.0)
 
     def p99(self) -> float:
-        return percentile(self._expanded(), 99.0)
+        return self._weighted_percentile(99.0)
 
     def reset(self) -> None:
         self.samples.clear()
@@ -91,6 +108,9 @@ class RunResult:
     p99_latency: float
     blocks_committed: int
     sim_time: float
+    #: Optional per-phase latency breakdown ({phase: {count, mean, p50,
+    #: p99}}), populated when the run carried an observability layer.
+    phase_latency: dict[str, dict[str, float]] | None = None
 
     def as_row(self) -> str:
         return (

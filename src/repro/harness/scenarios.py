@@ -59,6 +59,7 @@ def run_load_point(
     request_size: int = 150,
     reply_size: int = 150,
     seed: int = 1,
+    observability=None,
 ) -> RunResult:
     """One closed-loop load point for one protocol at one cluster size.
 
@@ -66,9 +67,15 @@ def run_load_point(
     interval so the stable leader is never deposed mid-measurement (the
     paper's throughput experiments are failure-free; view changes are
     measured separately in Fig. 10i/10j).
+
+    Pass a :class:`~repro.obs.observer.RunObservability` to collect
+    per-replica metrics and per-phase latency histograms; the result's
+    ``phase_latency`` field is then populated from them.
     """
     experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
-    cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
+    cluster = DESCluster(
+        experiment, protocol=protocol, crypto_mode="null", observability=observability
+    )
     clients_pool = ClosedLoopClients(
         cluster,
         num_clients=clients,
@@ -82,6 +89,10 @@ def run_load_point(
     cluster.sim.schedule(0.01, clients_pool.start)
     cluster.run(until=sim_time)
     cluster.assert_safety()
+    phase_latency = None
+    if observability is not None:
+        observability.finish(cluster.sim.now)
+        phase_latency = observability.phase_latency_summary()
     summary = clients_pool.summary()
     duration = sim_time - warmup
     return RunResult(
@@ -92,7 +103,53 @@ def run_load_point(
         p99_latency=summary["p99_latency"],
         blocks_committed=max(r.stats["blocks_committed"] for r in cluster.replicas),
         sim_time=sim_time,
+        phase_latency=phase_latency,
     )
+
+
+def run_traced_scenario(
+    protocol: str,
+    f: int = 1,
+    seed: int = 1,
+    sim_time: float = 5.0,
+    clients: int = 32,
+    crash_leader_at: float | None = None,
+    force_unhappy: bool = False,
+    observability=None,
+):
+    """A short, fully observed run for trace export (``repro trace``).
+
+    Runs the protocol at light load over the paper's testbed profile —
+    every block lifecycle and (with ``crash_leader_at``) a view change
+    lands in the returned observability's tracer.  Deterministic: the
+    same arguments produce byte-identical Chrome-trace exports.
+
+    Returns ``(cluster, observability)``.
+    """
+    from repro.obs.observer import RunObservability
+
+    if observability is None:
+        observability = RunObservability()
+    base_timeout = 0.5 if crash_leader_at is not None else 60.0
+    experiment = _experiment(f, seed=seed, batch=2000, base_timeout=base_timeout)
+    cluster = DESCluster(
+        experiment,
+        protocol=protocol,
+        crypto_mode="null",
+        force_unhappy=force_unhappy,
+        observability=observability,
+    )
+    pool = ClosedLoopClients(
+        cluster, num_clients=clients, token_weight=1, target="all", warmup=0.0
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    if crash_leader_at is not None:
+        cluster.crash_at(0, crash_leader_at)  # replica 0 leads view 1
+    cluster.run(until=sim_time)
+    cluster.assert_safety()
+    observability.finish(cluster.sim.now)
+    return cluster, observability
 
 
 def throughput_latency_curve(

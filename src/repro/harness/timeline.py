@@ -9,12 +9,21 @@ Events recorded per delivery: time, sender, receiver, message kind and a
 compact detail string (phase, view, heights).  Commit and view-change
 events come from replica listeners.  Rendering is plain text, one event
 per line, with optional filtering.
+
+Since the observability layer landed, the timeline is a *view* over a
+:class:`~repro.obs.tracer.Tracer`: every entry is stored as a tracer
+instant (network lane), and :attr:`Timeline.events` materialises the
+familiar :class:`Event` rows from it.  The text rendering is unchanged;
+:meth:`Timeline.chrome_trace` additionally exports the same events in
+Chrome ``trace_event`` format for Perfetto.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
+
+from repro.obs.tracer import LANE_NET, Tracer
 
 from repro.consensus.messages import (
     AggregateNewView,
@@ -83,11 +92,40 @@ def describe(payload: Any) -> tuple[str, str]:
 
 
 class Timeline:
-    """Collects and renders the events of one DES run."""
+    """Collects and renders the events of one DES run.
 
-    def __init__(self, include_client_traffic: bool = False) -> None:
-        self.events: list[Event] = []
+    Storage is a :class:`~repro.obs.tracer.Tracer` (one instant per
+    event, network lane), so a timeline doubles as a Chrome-trace source;
+    pass your own ``tracer`` to share it with a
+    :class:`~repro.obs.observer.RunObservability`.
+    """
+
+    def __init__(
+        self, include_client_traffic: bool = False, tracer: Tracer | None = None
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
         self.include_client_traffic = include_client_traffic
+
+    @property
+    def events(self) -> list[Event]:
+        """The recorded entries as :class:`Event` rows (insertion order)."""
+        return [
+            Event(
+                time=instant.ts,
+                kind=instant.name,
+                src=instant.meta.get("src", instant.replica),
+                dst=instant.meta.get("dst", instant.replica),
+                detail=instant.meta.get("detail", ""),
+            )
+            for instant in self.tracer.instants
+            if instant.meta.get("timeline", False)
+        ]
+
+    def _add(self, time: float, kind: str, src: int, dst: int, detail: str) -> None:
+        self.tracer.instant(
+            max(src, 0), kind, time, lane=LANE_NET,
+            timeline=True, src=src, dst=dst, detail=detail,
+        )
 
     # -------------------------------------------------------------- wiring
 
@@ -104,36 +142,26 @@ class Timeline:
         ):
             return
         kind, detail = describe(envelope.payload)
-        self.events.append(
-            Event(
-                time=envelope.sent_at,
-                kind=kind,
-                src=envelope.src,
-                dst=envelope.dst,
-                detail=detail,
-            )
-        )
+        self._add(envelope.sent_at, kind, envelope.src, envelope.dst, detail)
 
     def _watch_replica(self, cluster: Any, replica: Any) -> None:
         replica_id = replica.id
 
         def on_commit(block: Any, when: float) -> None:
-            self.events.append(
-                Event(
-                    time=when,
-                    kind="COMMIT",
-                    src=replica_id,
-                    dst=replica_id,
-                    detail=f"h={block.height} ops={block.num_ops}"
-                    f"{' virtual' if block.is_virtual else ''}",
-                )
+            self._add(
+                when,
+                "COMMIT",
+                replica_id,
+                replica_id,
+                f"h={block.height} ops={block.num_ops}"
+                f"{' virtual' if block.is_virtual else ''}",
             )
 
         replica.commit_listeners.append(on_commit)
 
     def record(self, time: float, kind: str, detail: str, actor: int = -1) -> None:
         """Manually add an annotation event."""
-        self.events.append(Event(time=time, kind=kind, src=actor, dst=actor, detail=detail))
+        self._add(time, kind, actor, actor, detail)
 
     # ----------------------------------------------------------- rendering
 
@@ -169,3 +197,7 @@ class Timeline:
         for event in self.events:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
+
+    def chrome_trace(self) -> str:
+        """The same events as a Chrome ``trace_event`` JSON document."""
+        return self.tracer.chrome_trace()

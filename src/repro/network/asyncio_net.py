@@ -24,6 +24,7 @@ import struct
 from typing import Any
 
 from repro.common.errors import NetworkError, UnknownPeer
+from repro.network.message import WireSizer
 from repro.network.transport import DeliveryHandler, Transport
 
 _FRAME = struct.Struct(">I")
@@ -38,6 +39,7 @@ class AsyncioNetwork(Transport):
         jitter: float = 0.0,
         loss_rate: float = 0.0,
         seed: int = 0,
+        metrics: Any | None = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError("loss_rate must be in [0, 1)")
@@ -49,6 +51,11 @@ class AsyncioNetwork(Transport):
         self._queues: dict[int, asyncio.Queue[tuple[int, Any]]] = {}
         self._pumps: dict[int, asyncio.Task[None]] = {}
         self._closed = False
+        # Optional repro.obs.metrics.NetworkMetrics duck, same contract
+        # the DES transport takes; sizes come from the shared WireSizer so
+        # byte counters agree between the two runtimes.
+        self._metrics = metrics
+        self._sizer = WireSizer() if metrics is not None else None
 
     def register(self, endpoint: int, handler: DeliveryHandler) -> None:
         self._handlers[endpoint] = handler
@@ -64,7 +71,11 @@ class AsyncioNetwork(Transport):
         queue = self._queues.get(dst)
         if queue is None:
             raise UnknownPeer(f"no endpoint registered for id {dst}")
+        if self._metrics is not None and self._sizer is not None:
+            self._metrics.sent(src, self._sizer.size_of(payload))
         if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
+            if self._metrics is not None:
+                self._metrics.dropped(src)
             return
         if self._delay > 0.0 or self._jitter > 0.0:
             wait = self._delay + (self._rng.uniform(0, self._jitter) if self._jitter else 0.0)
@@ -77,6 +88,8 @@ class AsyncioNetwork(Transport):
         queue = self._queues[endpoint]
         while True:
             src, payload = await queue.get()
+            if self._metrics is not None and self._sizer is not None:
+                self._metrics.received(endpoint, self._sizer.size_of(payload))
             handler = self._handlers.get(endpoint)
             if handler is not None:
                 handler(src, payload)

@@ -56,10 +56,20 @@ class TrafficStats:
 class SimNetwork(Transport):
     """DES transport implementing the :class:`Transport` contract."""
 
-    def __init__(self, sim: Simulator, profile: NetworkProfile, sizer: WireSizer | None = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: NetworkProfile,
+        sizer: WireSizer | None = None,
+        metrics: Any | None = None,
+    ) -> None:
         self._sim = sim
         self._profile = profile
         self._sizer = sizer or WireSizer()
+        #: Optional repro.obs.metrics.NetworkMetrics duck — send/receive/
+        #: drop counters per endpoint, independent of TrafficStats (which
+        #: the complexity benchmarks reset around warm-up).
+        self._metrics = metrics
         self._handlers: dict[int, DeliveryHandler] = {}
         self._links: dict[tuple[int, int], LinkState] = {}
         self._nic_free_at: dict[int, float] = {}
@@ -131,6 +141,8 @@ class SimNetwork(Transport):
         size = self._sizer.size_of(payload)
         if self._recording:
             self._stats.record(src, dst, size)
+        if self._metrics is not None:
+            self._metrics.sent(src, size)
         if src == dst:
             envelope = Envelope(src=src, dst=dst, payload=payload, size=size, sent_at=self._sim.now)
             self._sim.schedule(LOOPBACK_DELAY, lambda: self._deliver(envelope), label="loopback")
@@ -139,11 +151,15 @@ class SimNetwork(Transport):
         if not state.up:
             if self._recording:
                 self._stats.dropped += 1
+            if self._metrics is not None:
+                self._metrics.dropped(src)
             return
         rng = self._sim.rng
         if self._profile.loss_rate > 0.0 and rng.random() < self._profile.loss_rate:
             if self._recording:
                 self._stats.dropped += 1
+            if self._metrics is not None:
+                self._metrics.dropped(src)
             return
         if src in self._unshaped:
             link_done = self._sim.now
@@ -175,6 +191,8 @@ class SimNetwork(Transport):
         self._taps.append(tap)
 
     def _deliver(self, envelope: Envelope) -> None:
+        if self._metrics is not None:
+            self._metrics.received(envelope.dst, envelope.size)
         for tap in self._taps:
             tap(envelope)
         handler = self._handlers.get(envelope.dst)

@@ -1,0 +1,35 @@
+"""Unified observability: metrics registry, lifecycle tracing, logging.
+
+Shared by both runtimes (the DES and asyncio); see
+``docs/OBSERVABILITY.md`` for the metric catalogue and span taxonomy.
+"""
+
+from repro.obs.log import configure_cli_logging, get_logger, replica_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NetworkMetrics,
+)
+from repro.obs.observer import NULL_OBS, NullReplicaObs, ReplicaObs, RunObservability
+from repro.obs.tracer import Instant, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NetworkMetrics",
+    "NULL_OBS",
+    "NullReplicaObs",
+    "NullTracer",
+    "ReplicaObs",
+    "RunObservability",
+    "Span",
+    "Tracer",
+    "configure_cli_logging",
+    "get_logger",
+    "replica_logger",
+]

@@ -1,0 +1,78 @@
+"""Stdlib ``logging`` wiring with per-replica context.
+
+Library rule: nothing in ``repro.*`` ever calls ``logging.basicConfig``
+or attaches handlers — importers keep full control of log routing.  The
+CLI (an application) opts in via :func:`configure_cli_logging`, driven by
+its ``--log-level`` flag.
+
+:func:`replica_logger` returns a :class:`logging.LoggerAdapter` that
+prefixes every record with ``[<protocol> r<id> v<view>]``, reading the
+view through a callable so records always show the view current at emit
+time.  All replica records flow through the ``repro.replica`` logger
+subtree, so an application can silence or redirect one protocol with
+standard logger configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, MutableMapping
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class ReplicaLogAdapter(logging.LoggerAdapter):
+    """Injects replica id, current view and protocol into every record."""
+
+    def __init__(
+        self,
+        logger: logging.Logger,
+        protocol: str,
+        replica_id: int,
+        view_fn: Callable[[], int],
+    ) -> None:
+        super().__init__(logger, {"protocol": protocol, "replica": replica_id})
+        self.protocol = protocol
+        self.replica_id = replica_id
+        self._view_fn = view_fn
+
+    def process(
+        self, msg: str, kwargs: MutableMapping[str, Any]
+    ) -> tuple[str, MutableMapping[str, Any]]:
+        prefix = f"[{self.protocol} r{self.replica_id} v{self._view_fn()}]"
+        extra = kwargs.setdefault("extra", {})
+        extra.setdefault("protocol", self.protocol)
+        extra.setdefault("replica", self.replica_id)
+        return f"{prefix} {msg}", kwargs
+
+
+def replica_logger(
+    protocol: str, replica_id: int, view_fn: Callable[[], int]
+) -> ReplicaLogAdapter:
+    """The logger a replica should emit through."""
+    logger = logging.getLogger(f"repro.replica.{protocol}")
+    return ReplicaLogAdapter(logger, protocol, replica_id, view_fn)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (for harness/CLI modules)."""
+    return logging.getLogger(name if name.startswith("repro") else f"repro.{name}")
+
+
+def configure_cli_logging(level: str) -> None:
+    """Application-side setup: one stderr handler on the root logger.
+
+    Only the CLI entry point calls this; see the module docstring for the
+    library rule.  Idempotent — re-running just adjusts the level.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    numeric = getattr(logging, level.upper())
+    root = logging.getLogger()
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)-7s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(numeric)

@@ -1,0 +1,346 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` serves a whole run.  Metric instances are
+keyed by ``(name, labels)`` — asking twice for the same pair returns the
+same object, so instrument-at-use-site code stays allocation-free on the
+hot path (fetch the instance once, call :meth:`Counter.inc` forever).
+
+Views: :meth:`MetricsRegistry.snapshot` renders every labelled series to
+plain JSON-able data; :meth:`MetricsRegistry.aggregate` merges series
+across chosen labels (the cluster-wide view drops ``replica``);
+:meth:`MetricsRegistry.render_prometheus` emits standard text exposition
+so a scrape target or ``promtool`` can consume a dump directly.
+
+Histograms use fixed cumulative-style buckets (recorded per-bucket,
+exposed cumulatively, Prometheus-style), so two histograms merge by
+adding bucket counts — no raw samples are kept.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+LabelKey = tuple[tuple[str, str], ...]
+
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Seconds; spans the DES's sub-ms loopbacks to multi-second view changes."""
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram of non-negative observations.
+
+    ``buckets`` are upper bounds; one implicit ``+Inf`` bucket catches the
+    overflow.  Counts are stored per-bucket (non-cumulative) and summed at
+    exposition time.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelKey, buckets: Iterable[float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        self.sum += value * weight
+        self.count += weight
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += weight
+                return
+        self.counts[-1] += weight
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (``q`` in [0, 1]) by bucket interpolation.
+
+        Within the bucket containing the target rank the value is
+        interpolated linearly; the overflow bucket reports its lower
+        bound (the largest finite boundary).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self.buckets):
+            in_bucket = self.counts[index]
+            if cumulative + in_bucket >= target and in_bucket > 0:
+                fraction = (target - cumulative) / in_bucket
+                return lower + fraction * (bound - lower)
+            cumulative += in_bucket
+            lower = bound
+        return self.buckets[-1]
+
+    def merge_into(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(f"histogram {self.name}: bucket layouts differ, cannot merge")
+        for index, count in enumerate(self.counts):
+            other.counts[index] += count
+        other.sum += self.sum
+        other.count += self.count
+
+
+class MetricsRegistry:
+    """All metrics of one run, with per-label-set instances."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+        self._families: dict[str, tuple[str, str]] = {}  # name -> (kind, help)
+        self._bucket_layouts: dict[str, tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------- factories
+
+    def _family(self, name: str, kind: str, help_text: str) -> None:
+        known = self._families.get(name)
+        if known is None:
+            self._families[name] = (kind, help_text)
+        elif known[0] != kind:
+            raise ValueError(f"metric {name!r} already registered as a {known[0]}")
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        self._family(name, "counter", help)
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Counter(name, key[1])
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        self._family(name, "gauge", help)
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Gauge(name, key[1])
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        self._family(name, "histogram", help)
+        layout = tuple(sorted(buckets)) if buckets is not None else (
+            self._bucket_layouts.get(name, DEFAULT_LATENCY_BUCKETS)
+        )
+        self._bucket_layouts.setdefault(name, layout)
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, key[1], self._bucket_layouts[name])
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    # --------------------------------------------------------------- views
+
+    def _sorted_items(self) -> list[tuple[tuple[str, LabelKey], Counter | Gauge | Histogram]]:
+        return sorted(self._metrics.items(), key=lambda item: item[0])
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every series as plain data: {kind: {name: [series...]}}."""
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels), metric in self._sorted_items():
+            kind = self._families[name][0]
+            series: dict[str, Any] = {"labels": dict(labels)}
+            if isinstance(metric, Histogram):
+                series.update(
+                    count=metric.count,
+                    sum=metric.sum,
+                    mean=metric.mean(),
+                    p50=metric.quantile(0.50),
+                    p99=metric.quantile(0.99),
+                    buckets=[
+                        [bound, count]
+                        for bound, count in zip(metric.buckets, metric.counts)
+                    ] + [["+Inf", metric.counts[-1]]],
+                )
+            else:
+                series["value"] = metric.value
+            out[kind + "s"].setdefault(name, []).append(series)
+        return out
+
+    def aggregate(self, drop_labels: tuple[str, ...] = ("replica",)) -> "MetricsRegistry":
+        """A new registry with the chosen labels removed and series merged.
+
+        Counters and gauges sum; histograms merge bucket-wise.  The usual
+        call drops ``replica`` to produce the cluster-wide view.
+        """
+        merged = MetricsRegistry()
+        for (name, labels), metric in self._sorted_items():
+            kind, help_text = self._families[name]
+            kept = {k: v for k, v in labels if k not in drop_labels}
+            if kind == "counter":
+                merged.counter(name, help_text, **kept).inc(metric.value)
+            elif kind == "gauge":
+                merged.gauge(name, help_text, **kept).inc(metric.value)
+            else:
+                assert isinstance(metric, Histogram)
+                target = merged.histogram(name, help_text, buckets=metric.buckets, **kept)
+                metric.merge_into(target)
+        return merged
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    # --------------------------------------------------- Prometheus text
+
+    @staticmethod
+    def _render_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+        items = tuple(labels) + extra
+        if not items:
+            return ""
+        body = ",".join(f'{k}="{v}"' for k, v in items)
+        return "{" + body + "}"
+
+    @staticmethod
+    def _render_value(value: float) -> str:
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return repr(value)
+
+    def render_prometheus(self) -> str:
+        """Standard Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        by_family: dict[str, list[tuple[LabelKey, Counter | Gauge | Histogram]]] = {}
+        for (name, labels), metric in self._sorted_items():
+            by_family.setdefault(name, []).append((labels, metric))
+        for name in sorted(by_family):
+            kind, help_text = self._families[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, metric in by_family[name]:
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, metric.counts):
+                        cumulative += count
+                        le = self._render_labels(labels, (("le", repr(bound)),))
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = self._render_labels(labels, (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {metric.count}")
+                    lines.append(
+                        f"{name}_sum{self._render_labels(labels)} "
+                        f"{self._render_value(metric.sum)}"
+                    )
+                    lines.append(f"{name}_count{self._render_labels(labels)} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{self._render_labels(labels)} "
+                        f"{self._render_value(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+class NetworkMetrics:
+    """Per-endpoint send/receive/drop counters for a transport.
+
+    Transports call :meth:`sent` / :meth:`received` / :meth:`dropped` with
+    an endpoint id; counter instances are cached per endpoint so the
+    per-message cost is two dict hits and two adds.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._sent: dict[int, tuple[Counter, Counter]] = {}
+        self._received: dict[int, tuple[Counter, Counter]] = {}
+        self._dropped: dict[int, Counter] = {}
+
+    def sent(self, endpoint: int, size: int) -> None:
+        pair = self._sent.get(endpoint)
+        if pair is None:
+            pair = (
+                self.registry.counter(
+                    "net_messages_sent_total", "Messages handed to the transport",
+                    endpoint=endpoint,
+                ),
+                self.registry.counter(
+                    "net_bytes_sent_total", "Bytes on the wire, outbound",
+                    endpoint=endpoint,
+                ),
+            )
+            self._sent[endpoint] = pair
+        pair[0].inc()
+        pair[1].inc(size)
+
+    def received(self, endpoint: int, size: int) -> None:
+        pair = self._received.get(endpoint)
+        if pair is None:
+            pair = (
+                self.registry.counter(
+                    "net_messages_received_total", "Messages delivered to the endpoint",
+                    endpoint=endpoint,
+                ),
+                self.registry.counter(
+                    "net_bytes_received_total", "Bytes on the wire, inbound",
+                    endpoint=endpoint,
+                ),
+            )
+            self._received[endpoint] = pair
+        pair[0].inc()
+        pair[1].inc(size)
+
+    def dropped(self, endpoint: int) -> None:
+        counter = self._dropped.get(endpoint)
+        if counter is None:
+            counter = self.registry.counter(
+                "net_messages_dropped_total", "Messages lost to link state or loss rate",
+                endpoint=endpoint,
+            )
+            self._dropped[endpoint] = counter
+        counter.inc()

@@ -1,0 +1,288 @@
+"""The observability facade the runtimes hand to each replica.
+
+Protocol code never touches the registry or tracer directly; it calls the
+semantic hooks on its :class:`ReplicaObs` (``phase_begin``,
+``qc_formed``, ``block_committed``, ...).  The default observer is
+:data:`NULL_OBS`, whose hooks are all no-ops, so un-observed runs pay one
+no-op method call per instrumented site and allocate nothing.
+
+:class:`RunObservability` bundles one metrics registry, one tracer and
+the network counters for a whole cluster run, plus the export helpers the
+CLI uses (JSON snapshot, Prometheus text, Chrome trace).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, NetworkMetrics
+from repro.obs.tracer import LANE_VIEW, NullTracer, Span, Tracer
+
+#: Phases whose spans nest inside a block's root span, in lifecycle order.
+PHASES = ("prepare", "pre-commit", "commit")
+
+
+class NullReplicaObs:
+    """No-op observer; the default for un-observed replicas."""
+
+    enabled = False
+
+    def bind(self, ctx: Any) -> None: ...
+
+    def message_handled(self, payload: Any) -> None: ...
+
+    def vote_sent(self, phase: Any) -> None: ...
+
+    def view_entered(self, view: int, reason: str) -> None: ...
+
+    def view_timeout(self, view: int) -> None: ...
+
+    def view_change_event(self, name: str, view: int, **meta: Any) -> None: ...
+
+    def view_change_done(self, view: int) -> None: ...
+
+    def sync_requested(self, attempt: int) -> None: ...
+
+    def block_proposed(self, digest: bytes, view: int, height: int) -> None: ...
+
+    def phase_begin(self, digest: bytes, phase: str, view: int, height: int | None = None) -> None: ...
+
+    def phase_end(self, digest: bytes, phase: str) -> None: ...
+
+    def qc_formed(self, digest: bytes, phase: str, view: int) -> None: ...
+
+    def block_committed(self, digest: bytes, height: int, num_ops: int) -> None: ...
+
+
+NULL_OBS = NullReplicaObs()
+
+
+class ReplicaObs(NullReplicaObs):
+    """Metrics + spans for one replica, labelled with its id and protocol."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+        replica_id: int,
+        protocol: str,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.replica = replica_id
+        self.protocol = protocol
+        self._now = lambda: 0.0
+
+        def counter(name: str, help_text: str, **labels: Any) -> Counter:
+            return registry.counter(
+                name, help_text, replica=replica_id, protocol=protocol, **labels
+            )
+
+        self._messages = counter("replica_messages_handled_total", "Inbound messages dispatched")
+        self._votes = counter("replica_votes_sent_total", "Votes sent (all phases)")
+        self._proposals = counter("replica_proposals_sent_total", "Proposals broadcast as leader")
+        self._views_entered = counter("replica_views_entered_total", "Views entered (any cause)")
+        self._view_changes = counter(
+            "replica_view_changes_total", "Timeout/failure-triggered view changes"
+        )
+        self._timeouts = counter("replica_view_timeouts_total", "Pacemaker timer expirations")
+        self._syncs = counter("replica_sync_requests_total", "Block-sync fetches issued")
+        self._commits = counter("replica_blocks_committed_total", "Blocks committed")
+        self._ops = counter("replica_ops_committed_total", "Operations committed (weighted)")
+        self._commit_latency = registry.histogram(
+            "commit_latency_seconds",
+            "First-seen to committed, per block",
+            replica=replica_id,
+            protocol=protocol,
+        )
+        self._phase_hist: dict[str, Histogram] = {}
+        self._phase_start: dict[tuple[bytes, str], float] = {}
+        self._msg_kind: dict[type, Counter] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def bind(self, ctx: Any) -> None:
+        """Adopt the replica's clock (DES simulated time or wall-clock)."""
+        self._now = lambda: ctx.now
+
+    def _phase_histogram(self, phase: str) -> Histogram:
+        hist = self._phase_hist.get(phase)
+        if hist is None:
+            hist = self.registry.histogram(
+                "phase_duration_seconds",
+                "Per-phase duration of the block lifecycle",
+                replica=self.replica,
+                protocol=self.protocol,
+                phase=phase,
+            )
+            self._phase_hist[phase] = hist
+        return hist
+
+    @staticmethod
+    def _key(digest: bytes) -> str:
+        return digest.hex()[:16]
+
+    # ----------------------------------------------------- counter hooks
+
+    def message_handled(self, payload: Any) -> None:
+        self._messages.inc()
+        kind = type(payload)
+        counter = self._msg_kind.get(kind)
+        if counter is None:
+            counter = self.registry.counter(
+                "replica_messages_by_kind_total",
+                "Inbound messages by payload type",
+                replica=self.replica,
+                protocol=self.protocol,
+                kind=kind.__name__,
+            )
+            self._msg_kind[kind] = counter
+        counter.inc()
+
+    def vote_sent(self, phase: Any) -> None:
+        self._votes.inc()
+
+    def sync_requested(self, attempt: int) -> None:
+        self._syncs.inc()
+
+    # -------------------------------------------------------- view spans
+
+    def view_entered(self, view: int, reason: str) -> None:
+        self._views_entered.inc()
+        if reason == "timeout":
+            self._view_changes.inc()
+        now = self._now()
+        previous = self.tracer.open_span(self.replica, "view-change", str(view - 1))
+        if previous is not None:
+            self.tracer.end(self.replica, "view-change", str(view - 1), now, superseded=True)
+        self.tracer.begin(
+            self.replica, "view-change", str(view), now, lane=LANE_VIEW,
+            view=view, reason=reason,
+        )
+
+    def view_timeout(self, view: int) -> None:
+        self._timeouts.inc()
+        self.tracer.instant(self.replica, "view-timeout", self._now(), lane=LANE_VIEW, view=view)
+
+    def view_change_event(self, name: str, view: int, **meta: Any) -> None:
+        self.tracer.instant(
+            self.replica, name, self._now(), lane=LANE_VIEW, view=view, **meta
+        )
+
+    def view_change_done(self, view: int) -> None:
+        """Normal case resumed: close the view's view-change span."""
+        span = self.tracer.end(self.replica, "view-change", str(view), self._now())
+        if span is not None:
+            self._phase_histogram("view-change").observe(span.duration)
+
+    # --------------------------------------------------- lifecycle spans
+
+    def _root(self, digest: bytes, view: int, height: int | None) -> Span:
+        key = self._key(digest)
+        span = self.tracer.open_span(self.replica, "block", key)
+        if span is None:
+            span = self.tracer.begin(
+                self.replica, "block", key, self._now(), view=view, height=height
+            )
+        return span
+
+    def block_proposed(self, digest: bytes, view: int, height: int) -> None:
+        self._proposals.inc()
+        self._root(digest, view, height)
+        self.tracer.instant(
+            self.replica, "propose", self._now(), key=self._key(digest),
+            view=view, height=height,
+        )
+
+    def phase_begin(self, digest: bytes, phase: str, view: int, height: int | None = None) -> None:
+        handle = (digest, phase)
+        if handle in self._phase_start:
+            return
+        now = self._now()
+        self._phase_start[handle] = now
+        root = self._root(digest, view, height)
+        self.tracer.begin(
+            self.replica, phase, self._key(digest), now, parent=root, view=view
+        )
+
+    def phase_end(self, digest: bytes, phase: str) -> None:
+        started = self._phase_start.pop((digest, phase), None)
+        if started is None:
+            return
+        now = self._now()
+        self._phase_histogram(phase).observe(now - started)
+        self.tracer.end(self.replica, phase, self._key(digest), now)
+
+    def qc_formed(self, digest: bytes, phase: str, view: int) -> None:
+        self.tracer.instant(
+            self.replica, f"qc:{phase}", self._now(), key=self._key(digest), view=view
+        )
+
+    def block_committed(self, digest: bytes, height: int, num_ops: int) -> None:
+        self._commits.inc()
+        self._ops.inc(num_ops)
+        now = self._now()
+        for phase in PHASES:
+            started = self._phase_start.pop((digest, phase), None)
+            if started is not None:
+                self._phase_histogram(phase).observe(now - started)
+                self.tracer.end(self.replica, phase, self._key(digest), now)
+        root = self.tracer.end(
+            self.replica, "block", self._key(digest), now, committed=True, ops=num_ops
+        )
+        if root is not None:
+            self._commit_latency.observe(root.duration)
+
+
+class RunObservability:
+    """One registry + tracer + network counters for a whole cluster run."""
+
+    def __init__(self, trace: bool = True) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer: Tracer = Tracer() if trace else NullTracer()
+        self.net = NetworkMetrics(self.registry)
+
+    def replica_obs(self, replica_id: int, protocol: str) -> ReplicaObs:
+        return ReplicaObs(self.registry, self.tracer, replica_id, protocol)
+
+    def finish(self, ts: float) -> None:
+        self.tracer.finish(ts)
+
+    # -------------------------------------------------------------- exports
+
+    def snapshot(self) -> dict[str, Any]:
+        """Per-replica series plus the cluster-wide aggregation."""
+        return {
+            "per_replica": self.registry.snapshot(),
+            "cluster": self.registry.aggregate(drop_labels=("replica",)).snapshot(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def write_chrome_trace(self, path: str) -> None:
+        self.tracer.write_chrome_trace(path)
+
+    def phase_latency_summary(self) -> dict[str, dict[str, float]]:
+        """Cluster-wide {phase: {count, mean, p50, p99}} from the histograms."""
+        merged = self.registry.aggregate(drop_labels=("replica", "protocol"))
+        out: dict[str, dict[str, float]] = {}
+        for name, series_list in merged.snapshot()["histograms"].items():
+            if name != "phase_duration_seconds":
+                continue
+            for series in series_list:
+                phase = series["labels"].get("phase", "?")
+                out[phase] = {
+                    "count": series["count"],
+                    "mean": series["mean"],
+                    "p50": series["p50"],
+                    "p99": series["p99"],
+                }
+        return out

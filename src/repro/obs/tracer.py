@@ -1,0 +1,277 @@
+"""Block-lifecycle spans and structured trace export.
+
+A :class:`Tracer` records two kinds of entries:
+
+* **spans** — begin/end intervals keyed by ``(replica, name, key)``,
+  with parent/child links.  The protocol instrumentation opens one root
+  ``block`` span per (replica, block digest) and nests the phase spans
+  (``prepare``, ``pre-commit``, ``commit``) inside it, so a committed
+  block's span *contains* the phases that led to its commit;
+* **instants** — point events (votes, QC formations, view-change
+  sub-phases, network deliveries) with arbitrary metadata.
+
+Timestamps are supplied by callers (``ctx.now``), so DES runs produce
+deterministic traces — two identical seeded runs export byte-identical
+files — while asyncio runs get wall-clock time.
+
+Export: :meth:`Tracer.chrome_trace` emits the Chrome ``trace_event``
+JSON-array format, one event per line, which opens directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``; replicas map to
+processes, the lifecycle/view-change lanes to threads.
+:meth:`Tracer.render_text` is the plain-text view (one line per entry,
+same layout as the DES :class:`~repro.harness.timeline.Timeline`, which
+is itself backed by a tracer).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+LANE_LIFECYCLE = 0
+LANE_VIEW = 1
+LANE_NET = 2
+
+_LANES = {LANE_LIFECYCLE: "lifecycle", LANE_VIEW: "view-change", LANE_NET: "network"}
+
+
+@dataclass
+class Span:
+    """One begin/end interval on a replica."""
+
+    span_id: int
+    name: str  # "block", "prepare", "commit", "view-change", ...
+    replica: int
+    key: str  # block digest hex / view number, scoping the span
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    lane: int = LANE_LIFECYCLE
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+@dataclass
+class Instant:
+    """One point event on a replica."""
+
+    ts: float
+    name: str
+    replica: int
+    lane: int = LANE_LIFECYCLE
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans and instant events for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self._open: dict[tuple[int, str, str], Span] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------ recording
+
+    def begin(
+        self,
+        replica: int,
+        name: str,
+        key: str,
+        ts: float,
+        parent: Span | None = None,
+        lane: int = LANE_LIFECYCLE,
+        **meta: Any,
+    ) -> Span:
+        """Open the span ``(replica, name, key)``; idempotent while open."""
+        handle = (replica, name, key)
+        span = self._open.get(handle)
+        if span is not None:
+            return span
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            replica=replica,
+            key=key,
+            start=ts,
+            parent_id=parent.span_id if parent is not None else None,
+            lane=lane,
+            meta=dict(meta),
+        )
+        self._next_id += 1
+        self._open[handle] = span
+        self.spans.append(span)
+        return span
+
+    def end(self, replica: int, name: str, key: str, ts: float, **meta: Any) -> Span | None:
+        """Close the span if open; returns it (or None if never opened)."""
+        span = self._open.pop((replica, name, key), None)
+        if span is None:
+            return None
+        span.end = ts
+        span.meta.update(meta)
+        return span
+
+    def open_span(self, replica: int, name: str, key: str) -> Span | None:
+        return self._open.get((replica, name, key))
+
+    def instant(
+        self, replica: int, name: str, ts: float, lane: int = LANE_LIFECYCLE, **meta: Any
+    ) -> Instant:
+        entry = Instant(ts=ts, name=name, replica=replica, lane=lane, meta=dict(meta))
+        self.instants.append(entry)
+        return entry
+
+    def finish(self, ts: float) -> None:
+        """Close every still-open span (end of run)."""
+        for handle in sorted(self._open, key=lambda h: self._open[h].span_id):
+            span = self._open[handle]
+            span.end = ts
+            span.meta.setdefault("truncated", True)
+        self._open.clear()
+
+    # ------------------------------------------------------------- queries
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    # -------------------------------------------------------------- export
+
+    @staticmethod
+    def _us(ts: float) -> int:
+        return int(round(ts * 1e6))
+
+    def chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON array, one event per line.
+
+        The output is a valid JSON document *and* line-structured, so it
+        both opens in Perfetto and diffs/streams cleanly.  Event order and
+        content are fully determined by the recorded data — no wall-clock,
+        pids or environment leak in — so seeded DES runs reproduce the
+        file byte-for-byte.
+        """
+        events: list[dict[str, Any]] = []
+        replicas = sorted(
+            {s.replica for s in self.spans} | {i.replica for i in self.instants}
+        )
+        for replica in replicas:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": replica,
+                    "tid": 0,
+                    "args": {"name": f"replica {replica}"},
+                }
+            )
+            for lane, label in _LANES.items():
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": replica,
+                        "tid": lane,
+                        "args": {"name": label},
+                    }
+                )
+        for span in self.spans:
+            end = span.end if span.end is not None else span.start
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": _LANES.get(span.lane, "lifecycle"),
+                    "pid": span.replica,
+                    "tid": span.lane,
+                    "ts": self._us(span.start),
+                    "dur": self._us(end) - self._us(span.start),
+                    "args": {
+                        "key": span.key,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        **span.meta,
+                    },
+                }
+            )
+        for entry in self.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": entry.name,
+                    "cat": _LANES.get(entry.lane, "lifecycle"),
+                    "pid": entry.replica,
+                    "tid": entry.lane,
+                    "ts": self._us(entry.ts),
+                    "args": entry.meta,
+                }
+            )
+        lines = ",\n".join(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) for event in events
+        )
+        return "[\n" + lines + "\n]\n"
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.chrome_trace())
+
+    def render_text(self, limit: int | None = None) -> str:
+        """Time-ordered plain-text rendering of spans and instants."""
+        rows: list[tuple[float, int, str]] = []
+        for span in self.spans:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(span.meta.items()))
+            rows.append(
+                (
+                    span.start,
+                    span.span_id,
+                    f"{span.start:9.4f}  {'<' + span.name:<14} r{span.replica:<3} "
+                    f"{span.key} {detail}".rstrip(),
+                )
+            )
+            if span.end is not None:
+                rows.append(
+                    (
+                        span.end,
+                        span.span_id,
+                        f"{span.end:9.4f}  {span.name + '>':<14} r{span.replica:<3} "
+                        f"{span.key} dur={span.duration * 1000:.2f}ms",
+                    )
+                )
+        for index, entry in enumerate(self.instants):
+            detail = " ".join(f"{k}={v}" for k, v in sorted(entry.meta.items()))
+            rows.append(
+                (
+                    entry.ts,
+                    1_000_000 + index,
+                    f"{entry.ts:9.4f}  {entry.name:<14} r{entry.replica:<3} {detail}".rstrip(),
+                )
+            )
+        rows.sort(key=lambda r: (r[0], r[1]))
+        if limit is not None:
+            rows = rows[:limit]
+        header = f"{'time':>9}  {'event':<14} who  detail"
+        return "\n".join([header, "-" * len(header)] + [r[2] for r in rows])
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing (metrics-only observability)."""
+
+    enabled = False
+
+    def begin(self, replica, name, key, ts, parent=None, lane=LANE_LIFECYCLE, **meta):  # type: ignore[override]
+        return Span(span_id=0, name=name, replica=replica, key=key, start=ts)
+
+    def end(self, replica, name, key, ts, **meta):  # type: ignore[override]
+        return None
+
+    def instant(self, replica, name, ts, lane=LANE_LIFECYCLE, **meta):  # type: ignore[override]
+        return Instant(ts=ts, name=name, replica=replica)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.common.config import ClusterConfig
 from repro.consensus.crypto_service import ThresholdCryptoService
@@ -39,15 +39,21 @@ class LocalCluster:
         data_dirs: list[str] | None = None,
         network_delay: float = 0.0,
         seed: int = 0,
+        observability: Any | None = None,
     ) -> None:
         self.config = ClusterConfig.for_f(
             f, batch_size=batch_size, base_timeout=base_timeout
         )
+        #: Optional repro.obs.observer.RunObservability shared by the
+        #: transport and every node's replica.
+        self.observability = observability
         registry = KeyRegistry(self.config.num_replicas, self.config.quorum, seed=str(seed))
         self.crypto = ThresholdCryptoService(registry)
         if transport == "queue":
             self.network: AsyncioNetwork | TcpNetwork = AsyncioNetwork(
-                delay=network_delay, seed=seed
+                delay=network_delay,
+                seed=seed,
+                metrics=observability.net if observability is not None else None,
             )
         elif transport == "tcp":
             self.network = TcpNetwork(base_port=29000 + seed % 1000 * 100)
@@ -73,6 +79,7 @@ class LocalCluster:
                 protocol=self.protocol,
                 data_dir=data_dir,
                 rotation_interval=self.rotation_interval,
+                observability=self.observability,
             )
             self.nodes.append(node)
         if isinstance(self.network, TcpNetwork):
@@ -165,6 +172,7 @@ class LocalCluster:
             protocol=self.protocol,
             data_dir=self._data_dirs[replica_id],
             rotation_interval=self.rotation_interval,
+            observability=self.observability,
         )
         self.nodes[replica_id] = node
         node.start()

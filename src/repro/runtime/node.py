@@ -88,6 +88,7 @@ class Node:
         protocol: str = "marlin",
         data_dir: str | None = None,
         rotation_interval: float | None = None,
+        observability: Any | None = None,
     ) -> None:
         self.id = replica_id
         self.ctx = AsyncioContext(transport, replica_id, config.num_replicas)
@@ -103,6 +104,12 @@ class Node:
             rotation_interval=rotation_interval,
             forward_requests=False,
         )
+        if observability is not None:
+            # Same RunObservability type the DES harness takes; spans get
+            # wall-clock timestamps from AsyncioContext.now.
+            self.replica.attach_observer(
+                observability.replica_obs(replica_id, self.replica.protocol_name)
+            )
         self.kv = KVStore(directory=data_dir)
         self.blockstore = BlockStore(kv=self.kv, serializer=_serialize_block)
         self.app = KVStateMachine(store=self.kv)

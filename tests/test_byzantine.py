@@ -10,7 +10,7 @@ from repro.consensus.marlin.replica import MarlinReplica
 from repro.consensus.messages import Justify, PhaseMsg, VoteMsg
 from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
 
-from tests.helpers import LocalNet, forge_qc
+from tests.helpers import LocalNet
 
 
 def booted() -> LocalNet:

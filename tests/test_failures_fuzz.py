@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.common.config import ClusterConfig, ExperimentConfig
 from repro.harness.des_runtime import DESCluster
 from repro.harness.failures import (
     Delayer,

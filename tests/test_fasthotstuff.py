@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.common.config import ClusterConfig, ExperimentConfig, NetworkProfile
+from repro.common.config import ClusterConfig, ExperimentConfig
 from repro.consensus.fasthotstuff import FastHotStuffReplica
 from repro.consensus.messages import AggregateNewView
 from repro.harness.des_runtime import DESCluster

@@ -3,7 +3,6 @@ virtual blocks, and shadow-block bandwidth sharing."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.consensus.block import Block
 from repro.consensus.marlin.replica import MarlinReplica

@@ -1,0 +1,256 @@
+"""The metrics registry: counters, gauges, histograms and exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NetworkMetrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "ops")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("ops_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_memoized_per_label_set(self):
+        registry = MetricsRegistry()
+        a = registry.counter("msgs_total", replica=0)
+        b = registry.counter("msgs_total", replica=0)
+        c = registry.counter("msgs_total", replica=1)
+        assert a is b
+        assert a is not c
+        a.inc()
+        assert b.value == 1 and c.value == 0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m_total", replica=0, phase="prepare")
+        b = registry.counter("m_total", phase="prepare", replica=0)
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        hist = Histogram("lat", (), buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]  # one overflow
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(5.555)
+
+    def test_weighted_observe(self):
+        hist = Histogram("lat", (), buckets=(1.0,))
+        hist.observe(0.5, weight=10)
+        assert hist.count == 10
+        assert hist.sum == pytest.approx(5.0)
+        assert hist.mean() == pytest.approx(0.5)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram("lat", (), buckets=(1.0, 2.0))
+        for _ in range(100):
+            hist.observe(1.5)
+        # All mass in the (1.0, 2.0] bucket: the median interpolates inside it.
+        assert 1.0 < hist.quantile(0.5) <= 2.0
+
+    def test_quantile_empty_and_bounds(self):
+        hist = Histogram("lat", (), buckets=(1.0,))
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_merge_adds_bucket_counts(self):
+        a = Histogram("lat", (), buckets=(1.0, 2.0))
+        b = Histogram("lat", (), buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        a.merge_into(b)
+        assert b.count == 2
+        assert b.counts == [1, 1, 0]
+
+    def test_merge_rejects_different_layouts(self):
+        a = Histogram("lat", (), buckets=(1.0,))
+        b = Histogram("lat", (), buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_into(b)
+
+    def test_registry_reuses_first_bucket_layout(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("d_seconds", buckets=(0.1, 1.0), replica=0)
+        second = registry.histogram("d_seconds", replica=1)
+        assert second.buckets == first.buckets == (0.1, 1.0)
+
+    def test_default_buckets(self):
+        hist = MetricsRegistry().histogram("d_seconds")
+        assert hist.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestSnapshotAndAggregate:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for replica in range(3):
+            registry.counter("votes_total", "votes", replica=replica).inc(replica + 1)
+            registry.gauge("height", "height", replica=replica).set(10 * replica)
+            registry.histogram(
+                "lat_seconds", "latency", buckets=(0.1, 1.0), replica=replica
+            ).observe(0.05 * (replica + 1))
+        return registry
+
+    def test_snapshot_is_json_roundtrippable(self):
+        snap = self._populated().snapshot()
+        again = json.loads(json.dumps(snap))
+        assert set(again) == {"counters", "gauges", "histograms"}
+        series = again["counters"]["votes_total"]
+        assert [s["value"] for s in series] == [1, 2, 3]
+        assert [s["labels"]["replica"] for s in series] == ["0", "1", "2"]
+
+    def test_aggregate_drops_replica_and_sums(self):
+        cluster = self._populated().aggregate(drop_labels=("replica",))
+        snap = cluster.snapshot()
+        (votes,) = snap["counters"]["votes_total"]
+        assert votes["labels"] == {}
+        assert votes["value"] == 6
+        (lat,) = snap["histograms"]["lat_seconds"]
+        assert lat["count"] == 3
+        assert lat["sum"] == pytest.approx(0.05 + 0.10 + 0.15)
+
+    def test_aggregate_keeps_other_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", replica=0, phase="prepare").inc()
+        registry.counter("m_total", replica=1, phase="prepare").inc()
+        registry.counter("m_total", replica=0, phase="commit").inc()
+        snap = registry.aggregate().snapshot()
+        series = {s["labels"]["phase"]: s["value"] for s in snap["counters"]["m_total"]}
+        assert series == {"prepare": 2, "commit": 1}
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, float]]:
+    """Minimal text-exposition (0.0.4) parser: {family: {sample_line: value}}.
+
+    Enforces the structural invariants a scraper relies on: every sample
+    belongs to a preceding ``# TYPE`` family, values parse as floats, and
+    label bodies are well-formed ``k="v"`` lists.
+    """
+    families: dict[str, dict[str, float]] = {}
+    types: dict[str, str] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+            current = name
+            families.setdefault(name, {})
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        name_and_labels, _, value = line.rpartition(" ")
+        name = name_and_labels.split("{", 1)[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+        assert base == current, f"sample {name} outside its family block"
+        if "{" in name_and_labels:
+            body = name_and_labels.split("{", 1)[1].rstrip("}")
+            for part in body.split(","):
+                key, _, val = part.partition("=")
+                assert key.isidentifier() and val.startswith('"') and val.endswith('"')
+        families[base][name_and_labels] = float(value)
+    return families
+
+
+class TestPrometheusExposition:
+    def test_roundtrip_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("votes_total", "votes cast", replica=1).inc(7)
+        registry.gauge("view", "current view", replica=1).set(3)
+        families = parse_prometheus(registry.render_prometheus())
+        assert families["votes_total"] == {'votes_total{replica="1"}': 7.0}
+        assert families["view"] == {'view{replica="1"}': 3.0}
+
+    def test_histogram_buckets_are_cumulative_and_consistent(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        families = parse_prometheus(registry.render_prometheus())
+        samples = families["lat_seconds"]
+        buckets = {k: v for k, v in samples.items() if "_bucket" in k}
+        values = [buckets[k] for k in sorted(buckets)]  # le="+Inf", 0.1, 1.0
+        inf, b01, b10 = values
+        assert b01 == 1.0  # <= 0.1
+        assert b10 == 3.0  # <= 1.0 (cumulative)
+        assert inf == 4.0  # +Inf == count
+        (count,) = (v for k, v in samples.items() if k.startswith("lat_seconds_count"))
+        assert count == 4.0
+        (total,) = (v for k, v in samples.items() if k.startswith("lat_seconds_sum"))
+        assert total == pytest.approx(6.05)
+
+    def test_full_run_exposition_parses(self):
+        from repro.obs.observer import RunObservability
+
+        obs = RunObservability(trace=False)
+        replica_obs = obs.replica_obs(0, "marlin")
+        replica_obs.vote_sent("prepare")
+        replica_obs.block_committed(b"\x01" * 32, 1, 64)
+        obs.net.sent(0, 512)
+        obs.net.received(1, 512)
+        obs.net.dropped(2)
+        for registry in (obs.registry, obs.registry.aggregate()):
+            families = parse_prometheus(registry.render_prometheus())
+            assert "replica_votes_sent_total" in families
+            assert "net_bytes_sent_total" in families
+
+
+class TestNetworkMetrics:
+    def test_per_endpoint_counters(self):
+        registry = MetricsRegistry()
+        net = NetworkMetrics(registry)
+        net.sent(0, 100)
+        net.sent(0, 150)
+        net.received(1, 250)
+        net.dropped(1)
+        snap = registry.snapshot()
+        sent = {
+            s["labels"]["endpoint"]: s["value"]
+            for s in snap["counters"]["net_messages_sent_total"]
+        }
+        assert sent == {"0": 2}
+        (sent_bytes,) = snap["counters"]["net_bytes_sent_total"]
+        assert sent_bytes["value"] == 250
+        (dropped,) = snap["counters"]["net_messages_dropped_total"]
+        assert dropped["labels"]["endpoint"] == "1" and dropped["value"] == 1

@@ -1,0 +1,158 @@
+"""Block-lifecycle spans: tracer semantics and end-to-end trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.scenarios import run_traced_scenario
+from repro.obs.observer import RunObservability
+from repro.obs.tracer import LANE_VIEW, NullTracer, Tracer
+
+
+class TestTracerSemantics:
+    def test_begin_end_records_interval(self):
+        tracer = Tracer()
+        span = tracer.begin(0, "block", "abcd", 1.0, height=3)
+        closed = tracer.end(0, "block", "abcd", 2.5, committed=True)
+        assert closed is span
+        assert span.duration == pytest.approx(1.5)
+        assert span.meta == {"height": 3, "committed": True}
+
+    def test_begin_is_idempotent_while_open(self):
+        tracer = Tracer()
+        first = tracer.begin(0, "prepare", "k", 1.0)
+        again = tracer.begin(0, "prepare", "k", 9.0)
+        assert again is first
+        assert len(tracer.spans) == 1
+        # After closing, the same handle opens a fresh span.
+        tracer.end(0, "prepare", "k", 2.0)
+        fresh = tracer.begin(0, "prepare", "k", 3.0)
+        assert fresh is not first
+
+    def test_end_without_begin_is_noop(self):
+        tracer = Tracer()
+        assert tracer.end(0, "block", "missing", 1.0) is None
+        assert tracer.spans == []
+
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        root = tracer.begin(1, "block", "d1", 0.0)
+        phase = tracer.begin(1, "prepare", "d1", 0.1, parent=root)
+        other = tracer.begin(2, "block", "d2", 0.2)
+        assert phase.parent_id == root.span_id
+        assert tracer.children(root) == [phase]
+        assert tracer.children(other) == []
+
+    def test_spans_keyed_per_replica(self):
+        tracer = Tracer()
+        a = tracer.begin(0, "block", "d", 0.0)
+        b = tracer.begin(1, "block", "d", 0.0)
+        assert a is not b
+
+    def test_finish_truncates_open_spans(self):
+        tracer = Tracer()
+        tracer.begin(0, "block", "d", 1.0)
+        tracer.finish(7.0)
+        (span,) = tracer.spans
+        assert span.end == 7.0
+        assert span.meta.get("truncated") is True
+        # A second finish is harmless.
+        tracer.finish(8.0)
+        assert span.end == 7.0
+
+    def test_chrome_trace_is_valid_json_with_metadata(self):
+        tracer = Tracer()
+        root = tracer.begin(0, "block", "d", 1.0)
+        tracer.begin(0, "prepare", "d", 1.0, parent=root)
+        tracer.instant(0, "qc-formed", 1.5, lane=LANE_VIEW, phase="prepare")
+        tracer.finish(2.0)
+        events = json.loads(tracer.chrome_trace())
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        spans = [e for e in events if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["prepare"]["args"]["parent_id"] == root.span_id
+        assert all(isinstance(e["ts"], int) for e in spans)
+
+    def test_render_text_lists_all_entries(self):
+        tracer = Tracer()
+        tracer.begin(0, "block", "d", 1.0)
+        tracer.instant(1, "vote", 1.25)
+        tracer.finish(2.0)
+        text = tracer.render_text()
+        assert "<block" in text and "block>" in text and "vote" in text
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        tracer.begin(0, "block", "d", 1.0)
+        tracer.instant(0, "vote", 1.0)
+        assert tracer.end(0, "block", "d", 2.0) is None
+        assert tracer.spans == [] and tracer.instants == []
+        assert not tracer.enabled
+
+
+@pytest.fixture(scope="module")
+def traced_marlin():
+    cluster, obs = run_traced_scenario("marlin", f=1, seed=7, sim_time=3.0)
+    return cluster, obs
+
+
+class TestTracedRun:
+    def test_committed_blocks_contain_phase_children(self, traced_marlin):
+        _, obs = traced_marlin
+        committed = [
+            s for s in obs.tracer.spans_named("block") if s.meta.get("committed")
+        ]
+        assert len(committed) >= 10
+        for root in committed:
+            names = {child.name for child in obs.tracer.children(root)}
+            # Marlin is two-phase: prepare and commit nest under the block.
+            assert {"prepare", "commit"} <= names
+
+    def test_phase_latency_summary_covers_both_phases(self, traced_marlin):
+        _, obs = traced_marlin
+        summary = obs.phase_latency_summary()
+        assert {"prepare", "commit"} <= set(summary)
+        for stats in summary.values():
+            assert stats["count"] > 0
+            assert 0 < stats["mean"] <= stats["p99"] + 1e-9
+
+    def test_trace_matches_metrics(self, traced_marlin):
+        cluster, obs = traced_marlin
+        snapshot = obs.snapshot()
+        commits = snapshot["cluster"]["counters"]["replica_blocks_committed_total"]
+        total_committed = sum(s["value"] for s in commits)
+        committed_spans = [
+            s for s in obs.tracer.spans_named("block") if s.meta.get("committed")
+        ]
+        assert total_committed == len(committed_spans)
+
+    def test_identical_seeds_export_identical_traces(self):
+        traces = []
+        for _ in range(2):
+            _, obs = run_traced_scenario("marlin", f=1, seed=3, sim_time=2.0)
+            traces.append(obs.tracer.chrome_trace())
+        assert traces[0] == traces[1]
+        json.loads(traces[0])  # and it is a valid JSON document
+
+    def test_view_change_spans_after_leader_crash(self):
+        _, obs = run_traced_scenario(
+            "marlin", f=1, seed=5, sim_time=4.0, crash_leader_at=1.0
+        )
+        view_spans = obs.tracer.spans_named("view-change")
+        assert view_spans
+        assert all(s.lane == LANE_VIEW for s in view_spans)
+        # The crash-triggered change carries its sub-phase instants.
+        names = {i.name for i in obs.tracer.instants}
+        assert "view-change-sent" in names
+
+    def test_metrics_only_mode_still_fills_histograms(self):
+        _, obs = run_traced_scenario(
+            "hotstuff", f=1, seed=2, sim_time=2.0,
+            observability=RunObservability(trace=False),
+        )
+        assert obs.tracer.spans == []
+        summary = obs.phase_latency_summary()
+        assert {"prepare", "pre-commit", "commit"} <= set(summary)

@@ -106,7 +106,21 @@ class TestViewMonotonicity:
         net = LocalNet(MarlinReplica, n=4)
         net.start()
         replica = net.replicas[1]
-        start = replica.stats["view_changes"]
+        entered = replica.stats["views_entered"]
+        changes = replica.stats["view_changes"]
         replica._advance_view(2)
         replica._advance_view(2)  # duplicate: no-op
-        assert replica.stats["view_changes"] == start + 1
+        # A QC-driven advance enters a view but is not a "view change"
+        # (those count only timeout/failure-triggered transitions).
+        assert replica.stats["views_entered"] == entered + 1
+        assert replica.stats["view_changes"] == changes
+
+    def test_timeout_counts_as_view_change(self):
+        net = LocalNet(MarlinReplica, n=4)
+        net.start()
+        replica = net.replicas[1]
+        entered = replica.stats["views_entered"]
+        changes = replica.stats["view_changes"]
+        replica._advance_view(replica.cview + 1, reason="timeout")
+        assert replica.stats["views_entered"] == entered + 1
+        assert replica.stats["view_changes"] == changes + 1

@@ -9,7 +9,6 @@ import pytest
 from repro.runtime.app import KVStateMachine
 from repro.runtime.cluster import LocalCluster
 from repro.runtime.node import Node
-from repro.storage.kvstore import KVStore
 
 
 def run(coro):

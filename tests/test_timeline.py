@@ -75,6 +75,27 @@ class TestTimeline:
         vcs = timeline.filtered(kinds={"view-change"})
         assert any(e.time > 1.0 for e in vcs)
 
+    def test_text_format_preserved_over_tracer_backend(self, traced_run):
+        """The tracer-backed timeline renders the exact historical layout."""
+        import re
+
+        _, timeline = traced_run
+        lines = timeline.render(limit=5).splitlines()
+        assert lines[0] == f"{'time':>9}  {'event':<12} {'from':>4}    {'to':<4} detail"
+        assert lines[1] == "-" * len(lines[0])
+        row = re.compile(r"^ *\d+\.\d{4}  \S+ +(r\d+|-) -> (r\d+|-) ")
+        for line in lines[2:]:
+            assert row.match(line), line
+
+    def test_chrome_trace_export(self, traced_run):
+        import json
+
+        _, timeline = traced_run
+        events = json.loads(timeline.chrome_trace())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == len(timeline.events)
+        assert {e["name"] for e in instants} >= {"prepare", "COMMIT", "view-change"}
+
 
 class TestDescribe:
     def test_describe_covers_all_message_types(self):
