@@ -19,8 +19,8 @@ from repro.consensus.block import Block, Operation
 from repro.consensus.messages import Justify, PrePrepareMsg, Proposal
 from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
 from repro.crypto.hashing import digest_of
+from repro.api import Scenario, load_point, view_change_latency
 from repro.harness.report import format_table, ktx, ms
-from repro.harness.scenarios import run_load_point, view_change_latency
 
 
 def _v1_proposals(payload_bytes: int):
@@ -105,7 +105,9 @@ def test_batch_cap_ablation(once, benchmark):
         try:
             for cap in caps:
                 scenarios.DEFAULT_MAX_BATCH = cap
-                point = run_load_point("marlin", 1, 65536, sim_time=20.0, warmup=7.0)
+                point = load_point(
+                    Scenario(protocol="marlin", f=1, clients=65536, sim_time=20.0, warmup=7.0)
+                )
                 results[cap] = point
         finally:
             scenarios.DEFAULT_MAX_BATCH = original

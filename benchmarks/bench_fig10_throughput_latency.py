@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.report import format_table, ktx, ms
-from repro.harness.scenarios import (
+from repro.api import (
     LATENCY_CAP,
-    default_client_sweep,
+    PipelineConfig,
+    RunObservability,
+    Scenario,
+    load_point,
     peak_at_latency_cap,
-    throughput_latency_curve,
+    throughput_curve,
 )
-from repro.obs.observer import RunObservability
+from repro.harness.report import format_table, ktx, ms
 
 FIGURES = {
     1: "fig10a",
@@ -41,8 +43,8 @@ def test_throughput_latency_curve(f, once, benchmark):
             # Metrics-only observability (no tracing): the per-phase
             # duration histograms accumulate across the whole sweep.
             obs = RunObservability(trace=False)
-            curves[protocol] = throughput_latency_curve(
-                protocol, f, default_client_sweep(f), observability=obs
+            curves[protocol] = throughput_curve(
+                Scenario(protocol=protocol, f=f), observability=obs
             )
             phases[protocol] = obs.phase_latency_summary()
         return curves, phases
@@ -103,3 +105,41 @@ def test_throughput_latency_curve(f, once, benchmark):
     for point in curves["hotstuff"]:
         if point.clients in paired and point.mean_latency > 0:
             assert paired[point.clients] < point.mean_latency * 1.02
+
+
+def test_batching_before_after(once, benchmark):
+    """One saturated load point with the hot-path batching/pipelining
+    subsystem off (the seed behaviour) and on: batched vote verification,
+    the QC verification cache, and speculative proposals must never lose
+    throughput, and should gain under crypto-bound load.
+    """
+
+    def run():
+        results = {}
+        for label, pipeline in (("unbatched", None), ("batched", PipelineConfig())):
+            results[label] = load_point(
+                Scenario(
+                    protocol="marlin", f=1, clients=65536,
+                    sim_time=16.0, warmup=6.0, pipeline=pipeline,
+                )
+            )
+        return results
+
+    results = once(run)
+    rows = [
+        [label, ktx(point.throughput_tps), ms(point.mean_latency), ms(point.p99_latency)]
+        for label, point in results.items()
+    ]
+    print(
+        format_table(
+            "batching before/after (marlin, f=1, 65536 clients)",
+            ["pipeline", "ktx/s", "lat ms", "p99 ms"],
+            rows,
+        )
+    )
+    before = results["unbatched"].throughput_tps
+    after = results["batched"].throughput_tps
+    print(f"batching delta: {(after / before - 1) * 100:+.2f}%")
+    benchmark.extra_info["unbatched_tps"] = before
+    benchmark.extra_info["batched_tps"] = after
+    assert after >= before * 0.98, "batching must not regress throughput"

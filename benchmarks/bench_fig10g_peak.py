@@ -9,8 +9,8 @@ overall factor (the paper: 101.27 -> 23.15 ktx/s, a ~4.4x drop).
 from __future__ import annotations
 
 from benchmarks.conftest import PAPER_FIG10G_HOTSTUFF, PAPER_FIG10G_MARLIN
+from repro.api import Scenario, peak_throughput
 from repro.harness.report import format_table, ktx
-from repro.harness.scenarios import peak_throughput
 
 F_VALUES = list(range(1, 11))
 
@@ -20,7 +20,7 @@ def test_fig10g_peak_throughput(once, benchmark):
         peaks: dict[str, dict[int, float]] = {"marlin": {}, "hotstuff": {}}
         for f in F_VALUES:
             for protocol in peaks:
-                peak, _ = peak_throughput(protocol, f)
+                peak, _ = peak_throughput(Scenario(protocol=protocol, f=f))
                 peaks[protocol][f] = peak
         return peaks
 

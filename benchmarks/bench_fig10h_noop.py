@@ -11,8 +11,8 @@ more than half).
 from __future__ import annotations
 
 from benchmarks.conftest import PAPER_FIG10H_HOTSTUFF, PAPER_FIG10H_MARLIN
+from repro.api import Scenario, default_client_sweep, peak_at_latency_cap, throughput_curve
 from repro.harness.report import format_table, ktx
-from repro.harness.scenarios import default_client_sweep, peak_at_latency_cap, throughput_latency_curve
 
 F_VALUES = [1, 2, 5]
 
@@ -25,8 +25,9 @@ def _peak(protocol: str, f: int, request_size: int, reply_size: int) -> float:
         sweep = [8192, 16384, 32768, 65536] if f <= 2 else [8192, 16384, 32768, 49152]
     else:
         sweep = default_client_sweep(f)
-    curve = throughput_latency_curve(
-        protocol, f, sweep, request_size=request_size, reply_size=reply_size
+    curve = throughput_curve(
+        Scenario(protocol=protocol, f=f, request_size=request_size, reply_size=reply_size),
+        sweep,
     )
     return peak_at_latency_cap(curve)
 

@@ -11,8 +11,8 @@ Run:  python examples/throughput_comparison.py        (~30 s)
 
 from __future__ import annotations
 
+from repro.api import Scenario, load_point
 from repro.harness.report import format_table, ktx, ms
-from repro.harness.scenarios import run_load_point
 
 SWEEP = [1024, 4096, 16384, 65536]
 
@@ -26,7 +26,9 @@ def main() -> None:
     for protocol in ("marlin", "hotstuff"):
         curves[protocol] = []
         for clients in SWEEP:
-            point = run_load_point(protocol, 1, clients, sim_time=18.0, warmup=6.0)
+            point = load_point(
+                Scenario(protocol=protocol, f=1, clients=clients, sim_time=18.0, warmup=6.0)
+            )
             curves[protocol].append(point)
             rows.append(
                 [

@@ -23,8 +23,13 @@ Packages:
 * ``repro.des`` + ``repro.harness`` — the discrete-event evaluation rig
   that regenerates every figure and table of the paper.
 * ``repro.runtime`` — a real asyncio runtime for the same protocol cores.
+* ``repro.api`` — the stable facade: :class:`~repro.api.Scenario` plus
+  ``load_point`` / ``throughput_curve`` / ``peak_throughput`` /
+  ``traced_run``.  Scripts and notebooks should import from there.
 """
 
+from repro import api
+from repro.api import Scenario
 from repro.common.config import (
     ClusterConfig,
     ExperimentConfig,
@@ -34,12 +39,18 @@ from repro.common.config import (
 from repro.consensus.block import Block, Operation, genesis_block
 from repro.consensus.hotstuff.replica import HotStuffReplica
 from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.pipeline import PipelineConfig
 from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
 from repro.harness.des_runtime import DESCluster
+from repro.harness.metrics import RunResult
 from repro.harness.workload import ClosedLoopClients
+from repro.obs.observer import RunObservability
+from repro.runtime.cluster import LocalCluster
 
 __version__ = "1.0.0"
 
+#: The public contract: every name here must resolve as ``repro.<name>``
+#: (enforced by tests/test_public_api.py).
 __all__ = [
     "Block",
     "BlockSummary",
@@ -48,12 +59,18 @@ __all__ = [
     "DESCluster",
     "ExperimentConfig",
     "HotStuffReplica",
+    "LocalCluster",
     "MachineProfile",
     "MarlinReplica",
     "NetworkProfile",
     "Operation",
     "Phase",
+    "PipelineConfig",
     "QuorumCertificate",
+    "RunObservability",
+    "RunResult",
+    "Scenario",
+    "api",
     "genesis_block",
     "__version__",
 ]

@@ -1,0 +1,210 @@
+"""repro.api — the stable public facade.
+
+Everything a paper-reproduction script, notebook or CI job should need
+lives here under names that will not churn:
+
+* :class:`Scenario` — keyword-only experiment description shared by the
+  entry points, replacing the loose ``f/seed/batch/**cluster_kwargs``
+  threading of the old harness functions.
+* :func:`load_point` / :func:`throughput_curve` / :func:`peak_throughput`
+  — the Fig. 10 throughput/latency methodology.
+* :func:`traced_run` — a short, fully observed run for trace export.
+* Re-exports of the configuration, runtime, and observability types the
+  above produce and consume.
+
+The old ``repro.harness.scenarios`` entry points still work but emit
+:class:`DeprecationWarning`; new code should import from here::
+
+    from repro.api import Scenario, load_point
+
+    result = load_point(Scenario(protocol="marlin", f=1, clients=4096))
+    print(result.as_row())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    MachineProfile,
+    NetworkProfile,
+)
+from repro.consensus.pipeline import PipelineConfig
+from repro.harness.des_runtime import DESCluster
+from repro.harness.metrics import RunResult
+from repro.harness.scenarios import (
+    DEFAULT_MAX_BATCH,
+    LATENCY_CAP,
+    NormalCaseCost,
+    ViewChangeCost,
+    ViewChangeResult,
+    _load_point,
+    _peak_throughput,
+    _throughput_latency_curve,
+    _traced_scenario,
+    default_client_sweep,
+    measure_normal_case_cost,
+    measure_view_change_cost,
+    peak_at_latency_cap,
+    rotating_leader_throughput,
+    view_change_latency,
+)
+from repro.harness.workload import ClosedLoopClients
+from repro.obs.observer import RunObservability
+from repro.runtime.cluster import LocalCluster
+
+__all__ = [
+    "ClosedLoopClients",
+    "ClusterConfig",
+    "DEFAULT_MAX_BATCH",
+    "DESCluster",
+    "ExperimentConfig",
+    "LATENCY_CAP",
+    "LocalCluster",
+    "MachineProfile",
+    "NetworkProfile",
+    "NormalCaseCost",
+    "PipelineConfig",
+    "RunObservability",
+    "RunResult",
+    "Scenario",
+    "ViewChangeCost",
+    "ViewChangeResult",
+    "default_client_sweep",
+    "load_point",
+    "measure_normal_case_cost",
+    "measure_view_change_cost",
+    "peak_at_latency_cap",
+    "peak_throughput",
+    "rotating_leader_throughput",
+    "throughput_curve",
+    "traced_run",
+    "view_change_latency",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class Scenario:
+    """One experiment described declaratively (all fields keyword-only).
+
+    The same object drives every facade entry point; fields an entry
+    point does not use (e.g. ``clients`` for :func:`traced_run`, which
+    has its own light-load default) are simply ignored by it.
+    """
+
+    #: "marlin", "hotstuff", "chained-marlin", "chained-hotstuff",
+    #: "fast-hotstuff" or "insecure".
+    protocol: str = "marlin"
+    #: Fault tolerance; the cluster has ``3f + 1`` replicas.
+    f: int = 1
+    #: Closed-loop client population for load points.
+    clients: int = 4096
+    #: Simulation seed (same seed, same trace).
+    seed: int = 1
+    #: Simulated run length / measurement warm-up, in seconds.
+    sim_time: float = 22.0
+    warmup: float = 7.0
+    #: Client request/reply payload sizes, in bytes.
+    request_size: int = 150
+    reply_size: int = 150
+    #: Crypto service: "null" (cost-model timing; the throughput
+    #: methodology), "threshold" or "multisig" (real arithmetic).
+    crypto: str = "null"
+    #: Batching/pipelining knobs; None reproduces the unbatched seed
+    #: behaviour exactly.
+    pipeline: PipelineConfig | None = field(default=None)
+
+
+def load_point(scenario: Scenario, *, observability: RunObservability | None = None) -> RunResult:
+    """Run one closed-loop load point (Fig. 10a-f methodology)."""
+    return _load_point(
+        scenario.protocol,
+        scenario.f,
+        scenario.clients,
+        sim_time=scenario.sim_time,
+        warmup=scenario.warmup,
+        request_size=scenario.request_size,
+        reply_size=scenario.reply_size,
+        seed=scenario.seed,
+        observability=observability,
+        pipeline=scenario.pipeline,
+        crypto=scenario.crypto,
+    )
+
+
+def traced_run(
+    scenario: Scenario,
+    *,
+    clients: int = 32,
+    sim_time: float = 5.0,
+    crash_leader_at: float | None = None,
+    force_unhappy: bool = False,
+    observability: RunObservability | None = None,
+) -> tuple[DESCluster, RunObservability]:
+    """Run a short, fully observed scenario for trace export.
+
+    Light-load by design (``clients``/``sim_time`` default low and are
+    separate from the scenario's throughput-oriented fields); returns
+    ``(cluster, observability)`` with the tracer populated.
+    """
+    return _traced_scenario(
+        scenario.protocol,
+        f=scenario.f,
+        seed=scenario.seed,
+        sim_time=sim_time,
+        clients=clients,
+        crash_leader_at=crash_leader_at,
+        force_unhappy=force_unhappy,
+        observability=observability,
+        pipeline=scenario.pipeline,
+    )
+
+
+def throughput_curve(
+    scenario: Scenario,
+    client_counts: list[int] | None = None,
+    *,
+    latency_cap: float = LATENCY_CAP,
+    observability: RunObservability | None = None,
+) -> list[RunResult]:
+    """Sweep client counts until mean latency crosses ``latency_cap``."""
+    if client_counts is None:
+        client_counts = default_client_sweep(scenario.f)
+    return _throughput_latency_curve(
+        scenario.protocol,
+        scenario.f,
+        client_counts,
+        latency_cap,
+        observability=observability,
+        sim_time=scenario.sim_time,
+        warmup=scenario.warmup,
+        request_size=scenario.request_size,
+        reply_size=scenario.reply_size,
+        seed=scenario.seed,
+        pipeline=scenario.pipeline,
+        crypto=scenario.crypto,
+    )
+
+
+def peak_throughput(
+    scenario: Scenario,
+    client_counts: list[int] | None = None,
+    *,
+    latency_cap: float = LATENCY_CAP,
+) -> tuple[float, list[RunResult]]:
+    """Peak throughput at the latency cap, plus the raw curve."""
+    return _peak_throughput(
+        scenario.protocol,
+        scenario.f,
+        client_counts,
+        latency_cap,
+        sim_time=scenario.sim_time,
+        warmup=scenario.warmup,
+        request_size=scenario.request_size,
+        reply_size=scenario.reply_size,
+        seed=scenario.seed,
+        pipeline=scenario.pipeline,
+        crypto=scenario.crypto,
+    )

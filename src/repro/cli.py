@@ -29,15 +29,19 @@ log = get_logger("repro.cli")
 
 
 def _cmd_point(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import run_load_point
+    from repro.api import PipelineConfig, Scenario, load_point
 
     observability = None
     if args.metrics_out:
-        from repro.obs.observer import RunObservability
+        from repro.api import RunObservability
 
         observability = RunObservability(trace=False)
-    result = run_load_point(
-        args.protocol, args.f, args.clients, sim_time=args.sim_time, warmup=args.warmup,
+    pipeline = PipelineConfig() if args.batching else None
+    result = load_point(
+        Scenario(
+            protocol=args.protocol, f=args.f, clients=args.clients,
+            sim_time=args.sim_time, warmup=args.warmup, pipeline=pipeline,
+        ),
         observability=observability,
     )
     print(f"{args.protocol} f={args.f}: {result.as_row()}")
@@ -54,14 +58,10 @@ def _cmd_point(args: argparse.Namespace) -> None:
 
 
 def _cmd_curve(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import (
-        default_client_sweep,
-        peak_at_latency_cap,
-        throughput_latency_curve,
-    )
+    from repro.api import Scenario, peak_at_latency_cap, throughput_curve
 
-    curve = throughput_latency_curve(
-        args.protocol, args.f, default_client_sweep(args.f), sim_time=args.sim_time
+    curve = throughput_curve(
+        Scenario(protocol=args.protocol, f=args.f, sim_time=args.sim_time)
     )
     rows = [
         [str(p.clients), ktx(p.throughput_tps), ms(p.mean_latency), ms(p.p99_latency)]
@@ -92,12 +92,12 @@ def _cmd_curve(args: argparse.Namespace) -> None:
 
 
 def _cmd_peak(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import peak_throughput
+    from repro.api import Scenario, peak_throughput
 
     rows = []
     peaks: dict[str, float] = {}
     for protocol in ("marlin", "hotstuff"):
-        peak, _ = peak_throughput(protocol, args.f, sim_time=args.sim_time)
+        peak, _ = peak_throughput(Scenario(protocol=protocol, f=args.f, sim_time=args.sim_time))
         peaks[protocol] = peak
         rows.append([protocol, ktx(peak)])
     print(format_table(f"peak throughput (f={args.f})", ["protocol", "ktx/s"], rows))
@@ -126,7 +126,7 @@ def _cmd_compare(args: argparse.Namespace) -> None:
 
 
 def _cmd_viewchange(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import view_change_latency
+    from repro.api import view_change_latency
 
     result = view_change_latency(args.protocol, args.f, force_unhappy=args.unhappy)
     print(
@@ -137,7 +137,7 @@ def _cmd_viewchange(args: argparse.Namespace) -> None:
 
 
 def _cmd_rotate(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import rotating_leader_throughput
+    from repro.api import rotating_leader_throughput
 
     rows = []
     for protocol in ("marlin", "hotstuff"):
@@ -156,8 +156,8 @@ def _cmd_rotate(args: argparse.Namespace) -> None:
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.api import measure_view_change_cost
     from repro.harness.analytical import TABLE_I
-    from repro.harness.scenarios import measure_view_change_cost
 
     rows = [
         [row.protocol, row.vc_communication, row.vc_authenticators, row.vc_phases]
@@ -184,13 +184,11 @@ def _cmd_table1(args: argparse.Namespace) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import run_traced_scenario
+    from repro.api import Scenario, traced_run
 
     f = max(1, (args.n - 1) // 3)
-    cluster, obs = run_traced_scenario(
-        args.protocol,
-        f=f,
-        seed=args.seed,
+    cluster, obs = traced_run(
+        Scenario(protocol=args.protocol, f=f, seed=args.seed),
         sim_time=args.sim_time,
         crash_leader_at=args.crash_at,
         force_unhappy=args.unhappy,
@@ -216,13 +214,15 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> None:
-    from repro.harness.scenarios import run_load_point
-    from repro.obs.observer import RunObservability
+    from repro.api import RunObservability, Scenario, load_point
 
     obs = RunObservability(trace=False)
-    result = run_load_point(
-        args.protocol, args.f, args.clients, sim_time=args.sim_time,
-        warmup=args.warmup, observability=obs,
+    result = load_point(
+        Scenario(
+            protocol=args.protocol, f=args.f, clients=args.clients,
+            sim_time=args.sim_time, warmup=args.warmup,
+        ),
+        observability=obs,
     )
     print(f"{args.protocol} f={args.f}: {result.as_row()}")
     cluster_view = obs.registry.aggregate(drop_labels=("replica",)).snapshot()
@@ -298,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--clients", type=int, default=16384)
     p.add_argument("--warmup", type=float, default=7.0)
+    p.add_argument(
+        "--batching",
+        action="store_true",
+        help="enable vote batching and proposal pipelining (PipelineConfig defaults)",
+    )
     p.add_argument(
         "--metrics-out",
         default=None,

@@ -184,6 +184,8 @@ class BatchPool:
     max_batch: int = 400
     _pending: list[Operation] = field(default_factory=list)
     _seen: set[tuple[int, int]] = field(default_factory=set)
+    _staged: tuple[Operation, ...] | None = None
+    staged_epoch: int = 0
 
     def add(self, op: Operation) -> bool:
         """Queue an operation; duplicate (client, seq) pairs are dropped."""
@@ -213,12 +215,50 @@ class BatchPool:
         """Put operations back at the front (e.g. proposal abandoned)."""
         self._pending[:0] = list(ops)
 
+    def stage(self) -> tuple[Operation, ...]:
+        """Pre-assemble the next batch without committing to it.
+
+        A pipelining leader stages the batch for its *next* proposal while
+        the current QC is still forming.  The staged operations leave the
+        pending queue; :meth:`take_staged` hands them out and
+        :meth:`unstage` puts them back.  Re-staging returns the existing
+        staged batch.
+        """
+        if self._staged is None:
+            batch = self.next_batch()
+            if not batch:
+                return ()
+            self._staged = batch
+        return self._staged
+
+    def take_staged(self) -> tuple[Operation, ...]:
+        """Consume the staged batch (empty tuple if nothing staged)."""
+        staged = self._staged or ()
+        self._staged = None
+        return staged
+
+    def unstage(self) -> None:
+        """Abandon the staged batch, returning its operations to the front."""
+        if self._staged is not None:
+            self.requeue(self._staged)
+            self._staged = None
+
+    @property
+    def staged_weight(self) -> int:
+        """Weighted size of the staged batch (0 when nothing staged)."""
+        return sum(op.weight for op in self._staged) if self._staged else 0
+
     def forget(self, ops: tuple[Operation, ...]) -> None:
         """Prune committed operations from the pending queue."""
         keys = {op.key() for op in ops}
         if not keys:
             return
         self._pending = [op for op in self._pending if op.key() not in keys]
+        if self._staged is not None and any(op.key() in keys for op in self._staged):
+            # A speculative batch containing now-committed operations is
+            # stale; drop those ops and invalidate any block built on it.
+            self._staged = tuple(op for op in self._staged if op.key() not in keys)
+            self.staged_epoch += 1
 
     @property
     def pending_ops(self) -> int:

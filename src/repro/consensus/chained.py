@@ -100,16 +100,9 @@ class ChainedHotStuffReplica(HotStuffReplica):
         #: proposal's justify).
         self._qc_by_block: dict[bytes, QuorumCertificate] = {}
 
-    def _on_vote(self, src: int, vote: VoteMsg) -> None:
+    def _dispatch_vote(self, src: int, vote: VoteMsg) -> None:
         if vote.phase != Phase.PREPARE:
-            super()._on_vote(src, vote)
-            return
-        if vote.view != self.cview or not self.is_leader(vote.view):
-            return
-        try:
-            self.ctx.charge(self.costs.verify_vote())
-            self.crypto.verify_vote(src, vote.phase, vote.view, vote.block, vote.share)
-        except Exception:
+            super()._dispatch_vote(src, vote)
             return
         qc = self.collector.add_vote(vote.phase, vote.view, vote.block, src, vote.share)
         if qc is None:

@@ -33,6 +33,12 @@ class ZeroCostModel:
     def verify_vote(self) -> float:
         return 0.0
 
+    def verify_votes_batch(self, count: int) -> float:
+        return 0.0
+
+    def qc_cache_lookup(self) -> float:
+        return 0.0
+
     def sign_vote(self) -> float:
         return 0.0
 
@@ -102,6 +108,25 @@ class PaperCostModel(ZeroCostModel):
 
     def verify_vote(self) -> float:
         return self.machine.share_verify_cost
+
+    def verify_votes_batch(self, count: int) -> float:
+        """Verify ``count`` vote shares in one batched call.
+
+        Real implementations push a quorum of share verifications onto a
+        ``cores``-wide verifier pool and pay one dispatch overhead, so the
+        per-share cost is divided by the core count — the amortisation
+        batching exists to buy.
+        """
+        if count <= 0:
+            return 0.0
+        return (
+            self.per_message_overhead
+            + count * self.machine.share_verify_cost / self.machine.cores
+        )
+
+    def qc_cache_lookup(self) -> float:
+        """A QC verification answered from the LRU cache: a dict probe."""
+        return self.per_message_overhead
 
     def sign_vote(self) -> float:
         return self.machine.share_sign_cost

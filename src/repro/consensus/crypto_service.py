@@ -22,14 +22,25 @@ Protocol code talks only to :class:`CryptoService` and
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.common.errors import CryptoError, InvalidVote
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.multisig import MultiSigAccumulator, MultiSignature
 from repro.crypto.threshold import PartialSignature, ThresholdSignature
 from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate, vote_payload
+
+#: One vote for batch verification: (signer, phase, view, block, share).
+VoteTuple = tuple[int, Phase, int, BlockSummary, Any]
+
+QC_CACHE_SIZE = 256
+"""Default LRU capacity of the QC verification cache.
+
+A QC travels in several messages (COMMIT broadcast, justifies, catch-up
+proofs); the hot set is the last few pipeline slots, so a small cache
+captures nearly every repeat."""
 
 
 class VoteAccumulator(ABC):
@@ -59,11 +70,21 @@ class CryptoService(ABC):
     #: whether QC verification is a pairing or n signature verifications.
     scheme: str
 
-    def __init__(self, num_replicas: int, quorum: int) -> None:
+    def __init__(
+        self, num_replicas: int, quorum: int, qc_cache_size: int = QC_CACHE_SIZE
+    ) -> None:
         if not 1 <= quorum <= num_replicas:
             raise CryptoError("quorum must satisfy 1 <= quorum <= n")
         self.num_replicas = num_replicas
         self.quorum = quorum
+        # LRU of successfully verified QCs, keyed by (payload, signature).
+        # Only successes are cached, so a hit is always a proof.
+        self._qc_cache: OrderedDict[tuple[bytes, Any], None] = OrderedDict()
+        self._qc_cache_size = qc_cache_size
+        self.qc_cache_hits = 0
+        self.qc_cache_misses = 0
+        self._metric_hits: Any | None = None
+        self._metric_misses: Any | None = None
 
     @abstractmethod
     def sign_vote(self, signer: int, phase: Phase, view: int, block: BlockSummary) -> Any:
@@ -73,16 +94,73 @@ class CryptoService(ABC):
     def verify_vote(self, signer: int, phase: Phase, view: int, block: BlockSummary, share: Any) -> None:
         """Raise :class:`InvalidVote` if the share does not verify."""
 
+    def verify_votes(self, votes: Sequence[VoteTuple]) -> list[int]:
+        """Batch-verify votes; indices (input order) that do not verify.
+
+        Equivalent to :meth:`verify_vote` on each element; schemes with
+        aggregate structure (threshold shares) override this with a
+        genuinely amortised check.
+        """
+        bad: list[int] = []
+        for index, (signer, phase, view, block, share) in enumerate(votes):
+            try:
+                self.verify_vote(signer, phase, view, block, share)
+            except InvalidVote:
+                bad.append(index)
+        return bad
+
     @abstractmethod
     def accumulator(self, phase: Phase, view: int, block: BlockSummary) -> VoteAccumulator: ...
 
     @abstractmethod
+    def _verify_qc(self, qc: QuorumCertificate) -> None:
+        """Scheme-specific QC signature check (no cache, no genesis case)."""
+
     def verify_qc(self, qc: QuorumCertificate) -> None:
         """Raise :class:`CryptoError` if the QC's signature is invalid.
 
         Genesis QCs (view 0, ``signature is None``) always pass: they are
-        part of the trusted setup.
+        part of the trusted setup.  Successful verifications land in an
+        LRU cache keyed by ``(signed_payload, signature)``, so a QC
+        carried in multiple messages is verified once.
         """
+        if qc.view == 0 and qc.signature is None:
+            return
+        key = (qc.signed_payload, qc.signature)
+        if key in self._qc_cache:
+            self._qc_cache.move_to_end(key)
+            self.qc_cache_hits += 1
+            if self._metric_hits is not None:
+                self._metric_hits.inc()
+            return
+        self.qc_cache_misses += 1
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
+        self._verify_qc(qc)
+        self._qc_cache[key] = None
+        if len(self._qc_cache) > self._qc_cache_size:
+            self._qc_cache.popitem(last=False)
+
+    def verify_qcs(self, qcs: Sequence[QuorumCertificate]) -> list[int]:
+        """Batch-validate QCs (cache-aware); indices that do not verify."""
+        return [index for index, qc in enumerate(qcs) if not self.qc_is_valid(qc)]
+
+    def qc_cached(self, qc: QuorumCertificate) -> bool:
+        """Non-mutating probe: would :meth:`verify_qc` be a cache hit?"""
+        if qc.view == 0 and qc.signature is None:
+            return True
+        return (qc.signed_payload, qc.signature) in self._qc_cache
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Expose QC-cache hit/miss counters on a metrics registry."""
+        self._metric_hits = registry.counter(
+            "crypto_qc_cache_hits_total", "QC verifications answered from the LRU cache"
+        )
+        self._metric_misses = registry.counter(
+            "crypto_qc_cache_misses_total", "QC verifications that ran the full check"
+        )
+        self._metric_hits.inc(self.qc_cache_hits)
+        self._metric_misses.inc(self.qc_cache_misses)
 
     def qc_is_valid(self, qc: QuorumCertificate) -> bool:
         try:
@@ -146,12 +224,31 @@ class ThresholdCryptoService(CryptoService):
         except CryptoError as exc:
             raise InvalidVote(str(exc)) from exc
 
+    def verify_votes(self, votes: Sequence[VoteTuple]) -> list[int]:
+        """Aggregate-then-verify: group shares by payload, batch-check.
+
+        Shares over the same payload verify with one blinded aggregate
+        equation (bisecting on failure), so a quorum of prepare votes
+        costs one group check instead of ``n - f``.
+        """
+        bad: set[int] = set()
+        groups: dict[bytes, list[tuple[int, PartialSignature]]] = {}
+        for index, (signer, phase, view, block, share) in enumerate(votes):
+            if not isinstance(share, PartialSignature) or share.signer != signer:
+                bad.add(index)
+                continue
+            payload = vote_payload(phase, view, block)
+            groups.setdefault(payload, []).append((index, share))
+        for payload, entries in groups.items():
+            shares = [share for _, share in entries]
+            for local in self.registry.verify_partials_batch(payload, shares):
+                bad.add(entries[local][0])
+        return sorted(bad)
+
     def accumulator(self, phase: Phase, view: int, block: BlockSummary) -> VoteAccumulator:
         return _ThresholdAccumulator(self, vote_payload(phase, view, block))
 
-    def verify_qc(self, qc: QuorumCertificate) -> None:
-        if qc.view == 0 and qc.signature is None:
-            return
+    def _verify_qc(self, qc: QuorumCertificate) -> None:
         if not isinstance(qc.signature, ThresholdSignature):
             raise CryptoError(f"expected ThresholdSignature, got {type(qc.signature).__name__}")
         self.registry.verify_threshold(qc.signed_payload, qc.signature)
@@ -198,19 +295,29 @@ class MultisigCryptoService(CryptoService):
         except CryptoError as exc:
             raise InvalidVote(str(exc)) from exc
 
+    def verify_votes(self, votes: Sequence[VoteTuple]) -> list[int]:
+        """Batch the registry round-trips for a set of conventional votes."""
+        items = [
+            (signer, vote_payload(phase, view, block), share)
+            for signer, phase, view, block, share in votes
+        ]
+        return self.registry.verify_batch(items)  # type: ignore[arg-type]
+
     def accumulator(self, phase: Phase, view: int, block: BlockSummary) -> VoteAccumulator:
         return _MultisigAccumulatorAdapter(MultiSigAccumulator(self.num_replicas, self.quorum))
 
-    def verify_qc(self, qc: QuorumCertificate) -> None:
-        if qc.view == 0 and qc.signature is None:
-            return
+    def _verify_qc(self, qc: QuorumCertificate) -> None:
         if not isinstance(qc.signature, MultiSignature):
             raise CryptoError(f"expected MultiSignature, got {type(qc.signature).__name__}")
         if len(qc.signature.signers) < self.quorum:
             raise CryptoError("multi-signature carries fewer than quorum signers")
         payload = qc.signed_payload
-        for signer, signature in qc.signature.signatures:
-            self.registry.verify(signer, payload, signature)  # type: ignore[arg-type]
+        bad = self.registry.verify_batch(
+            [(signer, payload, signature) for signer, signature in qc.signature.signatures]
+        )
+        if bad:
+            signer = qc.signature.signatures[bad[0]][0]
+            raise CryptoError(f"constituent signature from replica {signer} is invalid")
 
 
 # --------------------------------------------------------------------------
@@ -287,9 +394,7 @@ class NullCryptoService(CryptoService):
     def accumulator(self, phase: Phase, view: int, block: BlockSummary) -> VoteAccumulator:
         return _NullAccumulator(self.quorum, self._tag(phase, view, block))
 
-    def verify_qc(self, qc: QuorumCertificate) -> None:
-        if qc.view == 0 and qc.signature is None:
-            return
+    def _verify_qc(self, qc: QuorumCertificate) -> None:
         if not isinstance(qc.signature, NullQuorumToken):
             raise CryptoError("expected NullQuorumToken")
         if len(qc.signature.signers) < self.quorum:

@@ -36,6 +36,7 @@ from repro.consensus.context import NodeContext
 from repro.consensus.costs import ZeroCostModel
 from repro.consensus.crypto_service import CryptoService
 from repro.consensus.messages import Justify, PhaseMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.pipeline import PipelineConfig
 from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
 from repro.consensus.replica_base import ReplicaBase
 
@@ -57,9 +58,17 @@ class HotStuffReplica(ReplicaBase):
         costs: ZeroCostModel | None = None,
         rotation_interval: float | None = None,
         forward_requests: bool = True,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         super().__init__(
-            replica_id, config, ctx, crypto, costs, rotation_interval, forward_requests
+            replica_id,
+            config,
+            ctx,
+            crypto,
+            costs,
+            rotation_interval,
+            forward_requests,
+            pipeline,
         )
         self.prepare_qc: QuorumCertificate = self.genesis_qc  # highQC
         self.locked_qc: QuorumCertificate = self.genesis_qc  # precommitQC lock
@@ -101,7 +110,7 @@ class HotStuffReplica(ReplicaBase):
             return
         if msg.justify is None or msg.justify.qc.phase != Phase.PREPARE:
             return
-        self.ctx.charge(self.costs.verify_qc(msg.justify.qc))
+        self._charge_qc_verify(msg.justify.qc)
         if not self.crypto.qc_is_valid(msg.justify.qc):
             return
         bucket = self._new_views.setdefault(msg.view, {})
@@ -134,29 +143,33 @@ class HotStuffReplica(ReplicaBase):
             return
         if self._outstanding_prepare is not None:
             return
-        batch = self.pool.next_batch()
-        if not batch and not initial:
-            return
         qc = self.prepare_qc
-        parent = qc.block
-        block = Block(
-            parent_link=parent.digest,
-            parent_view=parent.view,
-            view=self.cview,
-            height=parent.height + 1,
-            operations=batch,
-            justify_digest=qc.digest,
-            proposer=self.id,
-        )
+        block = None if initial else self._take_speculative(qc)
+        if block is None:
+            batch = self.pool.next_batch()
+            if not batch and not initial:
+                return
+            parent = qc.block
+            block = Block(
+                parent_link=parent.digest,
+                parent_view=parent.view,
+                view=self.cview,
+                height=parent.height + 1,
+                operations=batch,
+                justify_digest=qc.digest,
+                proposer=self.id,
+            )
         self.tree.add(block)
         self._verified_blocks.add(block.digest)
         self._outstanding_prepare = block.digest
         self.stats["proposals_sent"] += 1
+        self._note_proposed(block.digest)
         self.obs.block_proposed(block.digest, self.cview, block.height)
         self.obs.phase_begin(block.digest, "prepare", self.cview, block.height)
         self.ctx.broadcast(
             PhaseMsg(phase=Phase.PREPARE, view=self.cview, justify=Justify(qc), block=block)
         )
+        self._stage_next(block, qc)
 
     # ------------------------------------------------------------- replica
 
@@ -201,7 +214,7 @@ class HotStuffReplica(ReplicaBase):
             return
         if (block.view, block.height) <= self._last_voted_vh:
             return
-        self.ctx.charge(self.costs.verify_qc(qc))
+        self._charge_qc_verify(qc)
         if not self.crypto.qc_is_valid(qc):
             return
         # safeNode: extends the locked block, or the justify unlocks us.
@@ -233,7 +246,7 @@ class HotStuffReplica(ReplicaBase):
             return
         if msg.view != self.cview:
             return
-        self.ctx.charge(self.costs.verify_qc(qc))
+        self._charge_qc_verify(qc)
         if not self.crypto.qc_is_valid(qc):
             return
         if _vh(qc) > _vh(self.prepare_qc):
@@ -255,7 +268,7 @@ class HotStuffReplica(ReplicaBase):
             return
         if msg.view != self.cview:
             return
-        self.ctx.charge(self.costs.verify_qc(qc))
+        self._charge_qc_verify(qc)
         if not self.crypto.qc_is_valid(qc):
             return
         if _vh(qc) > _vh(self.locked_qc):
@@ -271,7 +284,7 @@ class HotStuffReplica(ReplicaBase):
         qc = msg.justify.qc
         if qc.phase != Phase.COMMIT:
             return
-        self.ctx.charge(self.costs.verify_qc(qc))
+        self._charge_qc_verify(qc)
         if not self.crypto.qc_is_valid(qc):
             return
         if msg.view > self.cview:
@@ -283,11 +296,23 @@ class HotStuffReplica(ReplicaBase):
     def _on_vote(self, src: int, vote: VoteMsg) -> None:
         if vote.view != self.cview or not self.is_leader(vote.view):
             return
+        if self._vote_gate is not None:
+            result = self._vote_gate.admit(
+                src, vote.phase, vote.view, vote.block, vote.share, carry=vote
+            )
+            if result.batch_verified:
+                self.ctx.charge(self.costs.verify_votes_batch(result.batch_verified))
+            for signer, released in result.released:
+                self._dispatch_vote(signer, released)
+            return
         try:
             self.ctx.charge(self.costs.verify_vote())
             self.crypto.verify_vote(src, vote.phase, vote.view, vote.block, vote.share)
         except InvalidVote:
             return
+        self._dispatch_vote(src, vote)
+
+    def _dispatch_vote(self, src: int, vote: VoteMsg) -> None:
         qc = self.collector.add_vote(vote.phase, vote.view, vote.block, src, vote.share)
         if qc is None:
             return

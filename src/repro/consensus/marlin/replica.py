@@ -54,6 +54,7 @@ from repro.consensus.messages import (
     ViewChangeMsg,
     VoteMsg,
 )
+from repro.consensus.pipeline import PipelineConfig
 from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate
 from repro.consensus.rank import (
     Rank,
@@ -78,9 +79,17 @@ class MarlinReplica(ReplicaBase):
         rotation_interval: float | None = None,
         force_unhappy: bool = False,
         forward_requests: bool = True,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         super().__init__(
-            replica_id, config, ctx, crypto, costs, rotation_interval, forward_requests
+            replica_id,
+            config,
+            ctx,
+            crypto,
+            costs,
+            rotation_interval,
+            forward_requests,
+            pipeline,
         )
         #: Skip the happy path even when every lb matches — used by the
         #: view-change benchmarks to force the pre-prepare phase (Fig 10i).
@@ -371,11 +380,23 @@ class MarlinReplica(ReplicaBase):
     def _on_vote(self, src: int, vote: VoteMsg) -> None:
         if vote.view != self.cview or not self.is_leader(vote.view):
             return
+        if self._vote_gate is not None:
+            result = self._vote_gate.admit(
+                src, vote.phase, vote.view, vote.block, vote.share, carry=vote
+            )
+            if result.batch_verified:
+                self.ctx.charge(self.costs.verify_votes_batch(result.batch_verified))
+            for signer, released in result.released:
+                self._dispatch_vote(signer, released)
+            return
         try:
             self.ctx.charge(self.costs.verify_vote())
             self.crypto.verify_vote(src, vote.phase, vote.view, vote.block, vote.share)
         except InvalidVote:
             return
+        self._dispatch_vote(src, vote)
+
+    def _dispatch_vote(self, src: int, vote: VoteMsg) -> None:
         if vote.phase == Phase.PRE_PREPARE:
             self._on_pre_prepare_vote(src, vote)
         elif vote.phase == Phase.PREPARE:
@@ -390,7 +411,7 @@ class MarlinReplica(ReplicaBase):
         if vote.locked_qc is not None:
             # R2 attachment: a prepareQC that may validate the virtual block.
             if vote.locked_qc.phase == Phase.PREPARE and self.crypto.qc_is_valid(vote.locked_qc):
-                self.ctx.charge(self.costs.verify_qc(vote.locked_qc))
+                self._charge_qc_verify(vote.locked_qc)
                 self._offer_vc_candidate(view, vote.locked_qc)
         qc = self.collector.add_vote(Phase.PRE_PREPARE, view, vote.block, src, vote.share)
         if qc is not None:
@@ -461,19 +482,23 @@ class MarlinReplica(ReplicaBase):
         qc = self.high_qc.qc
         if qc.phase != Phase.PREPARE or qc.view != self.cview:
             return
-        batch = self.pool.next_batch()
-        if not batch:
-            return
-        block = self._extend(qc.block, self.cview, batch, qc)
+        block = self._take_speculative(qc)
+        if block is None:
+            batch = self.pool.next_batch()
+            if not batch:
+                return
+            block = self._extend(qc.block, self.cview, batch, qc)
         self.tree.add(block)
         self._verified_blocks.add(block.digest)
         self._outstanding_prepare = block.digest
         self.stats["proposals_sent"] += 1
+        self._note_proposed(block.digest)
         self.obs.block_proposed(block.digest, self.cview, block.height)
         self.obs.phase_begin(block.digest, "prepare", self.cview, block.height)
         self.ctx.broadcast(
             PhaseMsg(phase=Phase.PREPARE, view=self.cview, justify=Justify(qc), block=block)
         )
+        self._stage_next(block, qc)
 
     def _on_phase_msg(self, src: int, msg: PhaseMsg) -> None:
         if msg.phase == Phase.PREPARE:
@@ -584,7 +609,7 @@ class MarlinReplica(ReplicaBase):
 
     def _verify_justify_sigs(self, justify: Justify) -> None:
         for qc in justify.qcs():
-            self.ctx.charge(self.costs.verify_qc(qc))
+            self._charge_qc_verify(qc)
 
     def _validate_justify(self, justify: Justify | None, before_view: int | None) -> bool:
         """Structural + signature validation of a justify.

@@ -1,0 +1,256 @@
+"""Hot-path batching and pipelining knobs (off by default).
+
+Marlin's linear authenticator complexity puts signature work on the hot
+path: the leader verifies a quorum of vote shares per phase and every
+replica verifies the QCs riding in each message.  This module holds the
+machinery that amortises that work, mirroring the engineering HotStuff
+and Fast-HotStuff deployments rely on for their throughput numbers:
+
+* :class:`PipelineConfig` — one frozen knob bundle threaded from the
+  runtimes down to the replicas.  ``None`` (the default everywhere)
+  reproduces the unbatched per-item behaviour exactly.
+* :class:`VoteBatchGate` — buffers unverified vote shares per
+  ``(phase, view, block)`` until a quorum's worth arrive, batch-verifies
+  them in one aggregate check, and drops post-quorum stragglers without
+  verifying them at all.
+* :class:`AdaptiveBatchController` — nudges ``BatchPool.max_batch`` to
+  keep commit latency inside a target band, using the commit-latency
+  signal the PR-1 metrics layer already records.
+
+Everything here is deterministic: the gate releases votes in a canonical
+order and the controller is pure arithmetic, so the DES stays
+reproducible with pipelining enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.consensus.qc import BlockSummary, Phase
+
+if TYPE_CHECKING:
+    from repro.consensus.crypto_service import CryptoService
+    from repro.crypto.verifier_pool import VerifierPool
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Batching/pipelining switches for one replica.
+
+    Passing ``None`` instead of a config (the default) keeps the replica
+    on the seed behaviour: per-vote verification, no speculation, fixed
+    batch size.
+    """
+
+    #: Buffer vote shares and verify a quorum in one aggregate check.
+    batch_votes: bool = True
+    #: Leader speculatively builds the next block while the QC forms.
+    speculative_proposals: bool = True
+    #: Let commit latency drive ``BatchPool.max_batch``.
+    adaptive_batch: bool = False
+    #: (low, high) commit-latency band the adaptive controller targets.
+    target_latency: tuple[float, float] = (0.2, 0.8)
+    #: Adaptive controller never shrinks the batch below this.
+    min_batch: int = 100
+    #: Adaptive controller never grows the batch beyond this (None = the
+    #: replica's configured batch size).
+    max_batch: int | None = None
+    #: Verifier pool kind: "inline" (DES-safe) or "threads" (asyncio).
+    verifier: str = "inline"
+    #: Worker count for the "threads" verifier pool.
+    verifier_workers: int = 4
+
+    def for_des(self) -> "PipelineConfig":
+        """The same config with the verifier forced inline.
+
+        The discrete-event simulator must never touch real threads:
+        verification cost is charged through the cost model and execution
+        order must stay deterministic.
+        """
+        if self.verifier == "inline":
+            return self
+        return dataclasses.replace(self, verifier="inline")
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """What :meth:`VoteBatchGate.admit` released for processing.
+
+    ``released`` lists ``(src, carry)`` pairs whose shares verified, in
+    canonical (src-sorted) order — ``carry`` is whatever the caller
+    passed alongside the share (typically the whole vote message).
+    ``batch_verified`` is the number of shares checked by the aggregate
+    verification this arrival triggered — the quantity the DES charges
+    via ``costs.verify_votes_batch`` — and is 0 when nothing was
+    verified.
+    """
+
+    released: tuple[tuple[int, Any], ...] = ()
+    batch_verified: int = 0
+
+
+@dataclass
+class _GateTarget:
+    #: src -> (share, carry)
+    pending: dict[int, tuple[Any, Any]] = field(default_factory=dict)
+    done: bool = False
+
+
+class VoteBatchGate:
+    """Defers vote verification until a quorum's worth of shares arrive.
+
+    Rationale: a leader only needs ``quorum`` valid shares to form a QC.
+    Verifying each share on arrival wastes work twice over — per-share
+    calls forgo the aggregate batch check, and shares arriving after the
+    QC formed are verified for nothing.  The gate buffers unverified
+    shares per ``(phase, view, block)``; once ``quorum`` distinct signers
+    are buffered it batch-verifies them (one blinded aggregate equation
+    for threshold shares) and releases the valid ones in src order.
+    Shares arriving after the target completed are dropped unverified.
+
+    Invalid shares found by the batch check are discarded and the target
+    keeps collecting, so a Byzantine share can delay but never prevent QC
+    formation — the same robustness the per-item path has.
+    """
+
+    def __init__(
+        self,
+        crypto: "CryptoService",
+        quorum: int,
+        pool: "VerifierPool | None" = None,
+    ) -> None:
+        self._crypto = crypto
+        self._quorum = quorum
+        self._pool = pool
+        self._targets: dict[tuple[Phase, int, bytes], _GateTarget] = {}
+        #: Total shares dropped unverified after their QC formed.
+        self.dropped_late = 0
+        #: Total shares rejected by batch verification.
+        self.rejected = 0
+
+    #: Minimum shares per worker before fanning out to threads: smaller
+    #: batches stay on the calling thread in one aggregate check, since
+    #: splitting a quorum-sized batch into single-share chunks would undo
+    #: the amortisation (and pay thread handoff on top).
+    MIN_CHUNK = 4
+
+    def _verify(self, votes: list[Any]) -> list[int]:
+        """Batch-verify, fanning chunks across the worker pool if present.
+
+        The inline pool (and the no-pool DES path) runs the single
+        aggregate check on the calling thread; a thread pool splits the
+        batch into per-worker chunks so the asyncio runtime does the
+        signature math off the protocol thread across real cores.
+        """
+        workers = getattr(self._pool, "workers", 1)
+        if self._pool is None or workers <= 1 or len(votes) < 2 * self.MIN_CHUNK:
+            return self._crypto.verify_votes(votes)
+        size = -(-len(votes) // workers)  # ceil division
+        chunks = [votes[i : i + size] for i in range(0, len(votes), size)]
+        results = self._pool.map(self._crypto.verify_votes, chunks)
+        bad: list[int] = []
+        offset = 0
+        for chunk, chunk_bad in zip(chunks, results):
+            bad.extend(offset + index for index in chunk_bad)
+            offset += len(chunk)
+        return bad
+
+    def admit(
+        self,
+        src: int,
+        phase: Phase,
+        view: int,
+        block: BlockSummary,
+        share: Any,
+        carry: Any = None,
+    ) -> GateResult:
+        """Buffer one share; returns any votes released by this arrival.
+
+        ``carry`` rides along unverified and is handed back with the
+        release, so callers can thread the originating message through.
+        """
+        key = (phase, view, block.digest)
+        target = self._targets.get(key)
+        if target is None:
+            target = self._targets[key] = _GateTarget()
+        if target.done:
+            self.dropped_late += 1
+            return GateResult()
+        if src in target.pending:
+            return GateResult()
+        target.pending[src] = (share, carry)
+        if len(target.pending) < self._quorum:
+            return GateResult()
+        entries = sorted(target.pending.items())
+        votes = [(signer, phase, view, block, sh) for signer, (sh, _) in entries]
+        bad = set(self._verify(votes))
+        self.rejected += len(bad)
+        batch_size = len(entries)
+        good = [(signer, pair) for index, (signer, pair) in enumerate(entries) if index not in bad]
+        if len(good) < self._quorum:
+            # Not enough valid shares yet: keep the good ones buffered and
+            # wait for more, re-verifying the survivors with the next
+            # arrival (they are few — only Byzantine floods hit this).
+            target.pending = dict(good)
+            return GateResult(released=(), batch_verified=batch_size)
+        target.done = True
+        target.pending.clear()
+        released = tuple((signer, carried) for signer, (_, carried) in good)
+        return GateResult(released=released, batch_verified=batch_size)
+
+    def discard_view(self, view: int) -> None:
+        """Drop all targets for views ``<= view`` (mirrors VoteCollector)."""
+        stale = [key for key in self._targets if key[1] <= view]
+        for key in stale:
+            del self._targets[key]
+
+
+class AdaptiveBatchController:
+    """Keeps commit latency in a target band by resizing the batch cap.
+
+    An EMA of observed proposal→commit latency drives a multiplicative
+    controller: above the band the batch shrinks (×0.8) so blocks clear
+    the pipe faster; below it the batch grows (×1.25) to amortise more
+    signature work per QC.  Clamped to ``[min_batch, cap]``.
+    """
+
+    SHRINK = 0.8
+    GROW = 1.25
+    ALPHA = 0.3
+
+    def __init__(
+        self,
+        band: tuple[float, float],
+        min_batch: int,
+        cap: int,
+        metric: Any | None = None,
+    ) -> None:
+        low, high = band
+        if not 0 < low < high:
+            raise ValueError(f"need 0 < low < high, got {band}")
+        if not 1 <= min_batch <= cap:
+            raise ValueError(f"need 1 <= min_batch <= cap, got {min_batch}, {cap}")
+        self.band = band
+        self.min_batch = min_batch
+        self.cap = cap
+        self.ema: float | None = None
+        self._metric = metric
+
+    def observe(self, latency: float, current: int) -> int:
+        """Fold in one commit latency; returns the new batch cap."""
+        self.ema = (
+            latency
+            if self.ema is None
+            else self.ALPHA * latency + (1 - self.ALPHA) * self.ema
+        )
+        low, high = self.band
+        if self.ema > high:
+            current = int(current * self.SHRINK)
+        elif self.ema < low:
+            current = int(current * self.GROW) or 1
+        current = max(self.min_batch, min(self.cap, current))
+        if self._metric is not None:
+            self._metric.set(current)
+        return current

@@ -32,8 +32,10 @@ from repro.consensus.messages import (
     SyncRequest,
     SyncResponse,
 )
-from repro.consensus.qc import Phase, QuorumCertificate, genesis_qc
+from repro.consensus.pipeline import AdaptiveBatchController, PipelineConfig, VoteBatchGate
+from repro.consensus.qc import BlockSummary, Phase, QuorumCertificate, genesis_qc
 from repro.consensus.votes import VoteCollector
+from repro.crypto.verifier_pool import VerifierPool, make_verifier_pool
 from repro.obs.log import replica_logger
 from repro.obs.observer import NULL_OBS, NullReplicaObs
 
@@ -54,6 +56,7 @@ class ReplicaBase(ABC):
         costs: ZeroCostModel | None = None,
         rotation_interval: float | None = None,
         forward_requests: bool = True,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         self.id = replica_id
         self.config = config
@@ -62,6 +65,7 @@ class ReplicaBase(ABC):
         self.costs = costs or ZeroCostModel()
         self.rotation_interval = rotation_interval
         self.forward_requests = forward_requests
+        self.pipeline = pipeline
 
         self.genesis = genesis_block()
         self.genesis_qc = genesis_qc(self.genesis)
@@ -69,6 +73,30 @@ class ReplicaBase(ABC):
         self.ledger = Ledger(self.tree, on_commit_block=self._on_block_committed)
         self.pool = BatchPool(max_batch=config.batch_size)
         self.collector = VoteCollector(crypto)
+
+        # Batching/pipelining state; all of it is inert when ``pipeline``
+        # is None (the default), which reproduces the seed behaviour.
+        self._vote_gate: VoteBatchGate | None = None
+        self._verifier_pool: VerifierPool | None = None
+        self._batch_controller: AdaptiveBatchController | None = None
+        #: (block, justify_digest, staged_epoch) of the speculatively
+        #: built next proposal, or None.
+        self._speculative: tuple[Block, bytes, int] | None = None
+        self._proposed_at: dict[bytes, float] = {}
+        if pipeline is not None:
+            self._verifier_pool = make_verifier_pool(
+                pipeline.verifier, pipeline.verifier_workers
+            )
+            if pipeline.batch_votes:
+                self._vote_gate = VoteBatchGate(
+                    crypto, config.quorum, pool=self._verifier_pool
+                )
+            if pipeline.adaptive_batch:
+                self._batch_controller = AdaptiveBatchController(
+                    band=pipeline.target_latency,
+                    min_batch=min(pipeline.min_batch, config.batch_size),
+                    cap=pipeline.max_batch or config.batch_size,
+                )
 
         self.cview = 0
         self.current_timeout = config.base_timeout
@@ -176,6 +204,9 @@ class ReplicaBase(ABC):
         self.obs.view_entered(target, reason)
         self.log.debug("entering view %d (%s)", target, reason)
         self.collector.discard_view(target - 1)
+        if self._vote_gate is not None:
+            self._vote_gate.discard_view(target - 1)
+        self._drop_speculation()
         self._arm_view_timer()
         self._enter_view(target)
 
@@ -276,6 +307,12 @@ class ReplicaBase(ABC):
         self.obs.block_committed(block.digest, block.height, len(block.operations))
         self.pool.forget(block.operations)
         now = self.ctx.now
+        if self._batch_controller is not None:
+            proposed = self._proposed_at.pop(block.digest, None)
+            if proposed is not None:
+                self.pool.max_batch = self._batch_controller.observe(
+                    now - proposed, self.pool.max_batch
+                )
         for listener in self.commit_listeners:
             listener(block, now)
 
@@ -372,10 +409,101 @@ class ReplicaBase(ABC):
         self.ctx.send(dst, vote)
 
     def _verify_qc_or_raise(self, qc: QuorumCertificate) -> None:
-        self.ctx.charge(self.costs.verify_qc(qc))
+        self._charge_qc_verify(qc)
         self.crypto.verify_qc(qc)
+
+    def _charge_qc_verify(self, qc: QuorumCertificate) -> None:
+        """Charge CPU for verifying ``qc``, cache-aware when pipelining.
+
+        With pipelining off the charge is always the full verification
+        (the seed behaviour, keeping old traces byte-identical).  With it
+        on, a QC already in the crypto service's LRU cache costs only a
+        lookup — the amortisation the cache exists to provide.
+        """
+        if self.pipeline is not None and self.crypto.qc_cached(qc):
+            self.ctx.charge(self.costs.qc_cache_lookup())
+        else:
+            self.ctx.charge(self.costs.verify_qc(qc))
 
     def _phase_qc_valid(self, qc: QuorumCertificate, phase: Phase) -> bool:
         if qc.phase != phase:
             return False
         return self.crypto.qc_is_valid(qc)
+
+    # -------------------------------------------------- pipelining helpers
+
+    def _note_proposed(self, digest: bytes) -> None:
+        """Record proposal time so commit latency can drive batch sizing."""
+        if self._batch_controller is not None:
+            self._proposed_at[digest] = self.ctx.now
+            if len(self._proposed_at) > 1024:
+                # Blocks abandoned by view changes never commit; bound the map.
+                oldest = next(iter(self._proposed_at))
+                del self._proposed_at[oldest]
+
+    def _stage_next(self, proposed: Block, qc: QuorumCertificate) -> None:
+        """Speculatively build the next block while ``proposed``'s QC forms.
+
+        The prepare-QC digest for ``proposed`` is predictable before any
+        vote arrives — a QC's digest covers (phase, view, block) but not
+        its signature — so the leader can assemble the entire next block
+        (batch, links, justify digest) during the vote round trip.
+        ``qc`` is the justify ``proposed`` itself was built on.
+        """
+        if self.pipeline is None or not self.pipeline.speculative_proposals:
+            return
+        self._drop_speculation()
+        batch = self.pool.stage()
+        if not batch:
+            return
+        summary = BlockSummary.of(proposed, justify_in_view=qc.view == proposed.view)
+        expected = QuorumCertificate(
+            phase=Phase.PREPARE, view=self.cview, block=summary, signature=None
+        ).digest
+        child = Block(
+            parent_link=proposed.digest,
+            parent_view=proposed.view,
+            view=self.cview,
+            height=proposed.height + 1,
+            operations=batch,
+            justify_digest=expected,
+            proposer=self.id,
+        )
+        self._speculative = (child, expected, self.pool.staged_epoch)
+
+    def _take_speculative(self, qc: QuorumCertificate) -> Block | None:
+        """Consume the speculative block if the formed QC matches its bet.
+
+        Rejects (and falls back to a fresh build) when the QC digest
+        differs from the prediction, the view moved, committed operations
+        were pruned out of the staged batch, or a fresh batch would be
+        strictly larger — speculation must never shrink throughput.
+        """
+        if self._speculative is None:
+            return None
+        block, expected, epoch = self._speculative
+        if (
+            qc.digest != expected
+            or block.view != self.cview
+            or epoch != self.pool.staged_epoch
+        ):
+            self._drop_speculation()
+            return None
+        if self.pool.staged_weight < self.pool.max_batch and self.pool.pending_ops > 0:
+            self._drop_speculation()
+            return None
+        self._speculative = None
+        if not self.pool.take_staged():
+            return None
+        return block
+
+    def _drop_speculation(self) -> None:
+        """Abandon any speculatively built block, returning its batch."""
+        if self._speculative is not None:
+            self._speculative = None
+            self.pool.unstage()
+
+    def close(self) -> None:
+        """Release resources (verifier pool workers)."""
+        if self._verifier_pool is not None:
+            self._verifier_pool.close()

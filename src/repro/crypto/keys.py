@@ -9,6 +9,8 @@ verification operations replicas use on each other's messages.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.common.errors import CryptoError
 from repro.common.types import ReplicaId
 from repro.crypto.signatures import Signature, SigningKey, VerifyKey
@@ -80,6 +82,27 @@ class KeyRegistry:
         except CryptoError:
             return False
         return True
+
+    def verify_batch(
+        self, items: Sequence[tuple[ReplicaId, bytes, Signature]]
+    ) -> list[int]:
+        """Verify many conventional signatures; indices that fail.
+
+        Conventional signatures have no aggregate structure, so this is a
+        loop — the batch API exists so callers amortise the per-call
+        bookkeeping and so cost models can charge batched work.
+        """
+        return [
+            index
+            for index, (replica, message, signature) in enumerate(items)
+            if not self.is_valid(replica, message, signature)
+        ]
+
+    def verify_partials_batch(
+        self, message: bytes, shares: Sequence[PartialSignature]
+    ) -> list[int]:
+        """Batch-verify threshold shares over one message; bad indices."""
+        return self._tpk.verify_shares(message, shares)
 
     def partial_sign(self, replica: ReplicaId, message: bytes) -> PartialSignature:
         return self.threshold_signer(replica).sign(message)

@@ -1,0 +1,80 @@
+"""Verifier pools: where batch signature verification actually runs.
+
+The protocol layer hands a verification closure to a
+:class:`VerifierPool` rather than calling the crypto service directly.
+Two implementations:
+
+* :class:`InlineVerifierPool` — runs the closure synchronously on the
+  caller's (simulated) CPU.  The discrete-event simulator always uses
+  this one: verification stays on the deterministic event path and the
+  cost model, not wall time, provides the timing.
+* :class:`ThreadVerifierPool` — dispatches chunks to a
+  ``concurrent.futures`` thread pool.  The asyncio runtime can opt into
+  it so a leader verifying a quorum of shares does the work off the
+  protocol thread, mirroring the paper's 16-core verification pools.
+
+Both expose the same blocking ``map`` contract, so replicas stay sans-io:
+results come back in submission order regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+
+class VerifierPool(ABC):
+    """Execution backend for batch verification closures."""
+
+    #: "inline" or "threads"; read by diagnostics and tests.
+    kind: str
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], chunks: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every chunk; results in submission order."""
+
+    def run(self, fn: Callable[[Any], Any], chunk: Any) -> Any:
+        """Convenience: verify a single chunk."""
+        return self.map(fn, [chunk])[0]
+
+    def close(self) -> None:
+        """Release worker resources (no-op for inline pools)."""
+
+
+class InlineVerifierPool(VerifierPool):
+    """Synchronous execution on the calling thread (DES-safe)."""
+
+    kind = "inline"
+
+    def map(self, fn: Callable[[Any], Any], chunks: Sequence[Any]) -> list[Any]:
+        return [fn(chunk) for chunk in chunks]
+
+
+class ThreadVerifierPool(VerifierPool):
+    """``concurrent.futures`` worker pool for the asyncio runtime."""
+
+    kind = "threads"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="verifier"
+        )
+
+    def map(self, fn: Callable[[Any], Any], chunks: Sequence[Any]) -> list[Any]:
+        return list(self._executor.map(fn, chunks))
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+def make_verifier_pool(kind: str, workers: int = 4) -> VerifierPool:
+    """Build a pool by name: ``"inline"`` or ``"threads"``."""
+    if kind == "inline":
+        return InlineVerifierPool()
+    if kind == "threads":
+        return ThreadVerifierPool(workers)
+    raise ValueError(f"unknown verifier pool kind {kind!r}")

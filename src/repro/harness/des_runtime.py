@@ -35,6 +35,7 @@ from repro.consensus.chained import ChainedHotStuffReplica, ChainedMarlinReplica
 from repro.consensus.fasthotstuff import FastHotStuffReplica
 from repro.consensus.hotstuff.replica import HotStuffReplica
 from repro.consensus.marlin.replica import MarlinReplica
+from repro.consensus.pipeline import PipelineConfig
 from repro.consensus.replica_base import ReplicaBase
 from repro.consensus.twophase_insecure import TwoPhaseInsecureReplica
 from repro.crypto.keys import KeyRegistry
@@ -116,6 +117,7 @@ class DESCluster:
         forward_requests: bool = True,
         use_cost_model: bool = True,
         observability: Any | None = None,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         if protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {protocol!r}; pick from {sorted(PROTOCOLS)}")
@@ -133,6 +135,11 @@ class DESCluster:
             metrics=observability.net if observability is not None else None,
         )
         self.crypto = self._make_crypto(crypto_mode, cluster.num_replicas, cluster.quorum)
+        if observability is not None:
+            self.crypto.bind_metrics(observability.registry)
+        # The simulator must never see real threads: force the inline
+        # verifier so determinism and the cost-model accounting hold.
+        self.pipeline = pipeline.for_des() if pipeline is not None else None
         if use_cost_model:
             self.costs: ZeroCostModel = PaperCostModel(
                 experiment.machine, scheme=self.crypto.scheme, quorum=cluster.quorum
@@ -155,6 +162,7 @@ class DESCluster:
                 costs=self.costs,
                 rotation_interval=rotation_interval,
                 forward_requests=forward_requests,
+                pipeline=self.pipeline,
             )
             if issubclass(replica_cls, MarlinReplica):
                 kwargs["force_unhappy"] = force_unhappy

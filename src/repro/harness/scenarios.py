@@ -15,6 +15,7 @@ the real threshold scheme.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.common.config import ClusterConfig, ExperimentConfig
@@ -50,7 +51,7 @@ def _token_weight(clients: int, max_tokens: int = 384) -> int:
 # Fig. 10a-10f: throughput vs latency
 
 
-def run_load_point(
+def _load_point(
     protocol: str,
     f: int,
     clients: int,
@@ -60,6 +61,8 @@ def run_load_point(
     reply_size: int = 150,
     seed: int = 1,
     observability=None,
+    pipeline=None,
+    crypto: str = "null",
 ) -> RunResult:
     """One closed-loop load point for one protocol at one cluster size.
 
@@ -74,7 +77,11 @@ def run_load_point(
     """
     experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
     cluster = DESCluster(
-        experiment, protocol=protocol, crypto_mode="null", observability=observability
+        experiment,
+        protocol=protocol,
+        crypto_mode=crypto,
+        observability=observability,
+        pipeline=pipeline,
     )
     clients_pool = ClosedLoopClients(
         cluster,
@@ -107,7 +114,7 @@ def run_load_point(
     )
 
 
-def run_traced_scenario(
+def _traced_scenario(
     protocol: str,
     f: int = 1,
     seed: int = 1,
@@ -116,6 +123,7 @@ def run_traced_scenario(
     crash_leader_at: float | None = None,
     force_unhappy: bool = False,
     observability=None,
+    pipeline=None,
 ):
     """A short, fully observed run for trace export (``repro trace``).
 
@@ -138,6 +146,7 @@ def run_traced_scenario(
         crypto_mode="null",
         force_unhappy=force_unhappy,
         observability=observability,
+        pipeline=pipeline,
     )
     pool = ClosedLoopClients(
         cluster, num_clients=clients, token_weight=1, target="all", warmup=0.0
@@ -152,7 +161,7 @@ def run_traced_scenario(
     return cluster, observability
 
 
-def throughput_latency_curve(
+def _throughput_latency_curve(
     protocol: str,
     f: int,
     client_counts: list[int],
@@ -166,7 +175,7 @@ def throughput_latency_curve(
     """
     results: list[RunResult] = []
     for clients in client_counts:
-        point = run_load_point(protocol, f, clients, **kwargs)
+        point = _load_point(protocol, f, clients, **kwargs)
         results.append(point)
         if point.mean_latency > latency_cap:
             break
@@ -198,7 +207,7 @@ def peak_at_latency_cap(curve: list[RunResult], latency_cap: float = LATENCY_CAP
     return max(interpolated, max(p.throughput_tps for p in under))
 
 
-def peak_throughput(
+def _peak_throughput(
     protocol: str,
     f: int,
     client_counts: list[int] | None = None,
@@ -208,8 +217,44 @@ def peak_throughput(
     """Peak throughput (Fig. 10g/10h methodology) plus the raw curve."""
     if client_counts is None:
         client_counts = default_client_sweep(f)
-    curve = throughput_latency_curve(protocol, f, client_counts, latency_cap, **kwargs)
+    curve = _throughput_latency_curve(protocol, f, client_counts, latency_cap, **kwargs)
     return peak_at_latency_cap(curve, latency_cap), curve
+
+
+# ---------------------------------------------------------------------------
+# Deprecated public aliases (use repro.api)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.harness.scenarios.{old} is deprecated; use repro.api.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_load_point(*args, **kwargs) -> RunResult:
+    """Deprecated: use :func:`repro.api.load_point`."""
+    _deprecated("run_load_point", "load_point")
+    return _load_point(*args, **kwargs)
+
+
+def run_traced_scenario(*args, **kwargs):
+    """Deprecated: use :func:`repro.api.traced_run`."""
+    _deprecated("run_traced_scenario", "traced_run")
+    return _traced_scenario(*args, **kwargs)
+
+
+def throughput_latency_curve(*args, **kwargs) -> list[RunResult]:
+    """Deprecated: use :func:`repro.api.throughput_curve`."""
+    _deprecated("throughput_latency_curve", "throughput_curve")
+    return _throughput_latency_curve(*args, **kwargs)
+
+
+def peak_throughput(*args, **kwargs) -> tuple[float, list[RunResult]]:
+    """Deprecated: use :func:`repro.api.peak_throughput`."""
+    _deprecated("peak_throughput", "peak_throughput")
+    return _peak_throughput(*args, **kwargs)
 
 
 def default_client_sweep(f: int) -> list[int]:

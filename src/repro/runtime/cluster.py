@@ -20,6 +20,7 @@ from typing import Any, Iterable
 from repro.common.config import ClusterConfig
 from repro.consensus.crypto_service import ThresholdCryptoService
 from repro.consensus.messages import ClientRequest
+from repro.consensus.pipeline import PipelineConfig
 from repro.crypto.keys import KeyRegistry
 from repro.network.asyncio_net import AsyncioNetwork, TcpNetwork
 from repro.runtime.node import Node
@@ -34,21 +35,30 @@ class LocalCluster:
         protocol: str = "marlin",
         transport: str = "queue",
         base_timeout: float = 1.0,
-        batch_size: int = 100,
+        batch_size: int | None = None,
         rotation_interval: float | None = None,
         data_dirs: list[str] | None = None,
         network_delay: float = 0.0,
         seed: int = 0,
         observability: Any | None = None,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
-        self.config = ClusterConfig.for_f(
-            f, batch_size=batch_size, base_timeout=base_timeout
-        )
+        # batch_size=None defers to the ClusterConfig default, keeping
+        # repro.common.config the single source of truth for it.
+        if batch_size is None:
+            self.config = ClusterConfig.for_f(f, base_timeout=base_timeout)
+        else:
+            self.config = ClusterConfig.for_f(
+                f, batch_size=batch_size, base_timeout=base_timeout
+            )
         #: Optional repro.obs.observer.RunObservability shared by the
         #: transport and every node's replica.
         self.observability = observability
+        self.pipeline = pipeline
         registry = KeyRegistry(self.config.num_replicas, self.config.quorum, seed=str(seed))
         self.crypto = ThresholdCryptoService(registry)
+        if observability is not None:
+            self.crypto.bind_metrics(observability.registry)
         if transport == "queue":
             self.network: AsyncioNetwork | TcpNetwork = AsyncioNetwork(
                 delay=network_delay,
@@ -80,6 +90,7 @@ class LocalCluster:
                 data_dir=data_dir,
                 rotation_interval=self.rotation_interval,
                 observability=self.observability,
+                pipeline=self.pipeline,
             )
             self.nodes.append(node)
         if isinstance(self.network, TcpNetwork):
@@ -173,6 +184,7 @@ class LocalCluster:
             data_dir=self._data_dirs[replica_id],
             rotation_interval=self.rotation_interval,
             observability=self.observability,
+            pipeline=self.pipeline,
         )
         self.nodes[replica_id] = node
         node.start()

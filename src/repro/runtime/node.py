@@ -22,6 +22,7 @@ from repro.consensus.crypto_service import CryptoService
 from repro.consensus.hotstuff.replica import HotStuffReplica
 from repro.consensus.marlin.replica import MarlinReplica
 from repro.consensus.messages import StateTransferRequest, StateTransferResponse
+from repro.consensus.pipeline import PipelineConfig
 from repro.consensus.replica_base import ReplicaBase
 from repro.network.transport import Transport
 from repro.runtime.app import KVStateMachine
@@ -89,6 +90,7 @@ class Node:
         data_dir: str | None = None,
         rotation_interval: float | None = None,
         observability: Any | None = None,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         self.id = replica_id
         self.ctx = AsyncioContext(transport, replica_id, config.num_replicas)
@@ -103,6 +105,7 @@ class Node:
             crypto=crypto,
             rotation_interval=rotation_interval,
             forward_requests=False,
+            pipeline=pipeline,
         )
         if observability is not None:
             # Same RunObservability type the DES harness takes; spans get
@@ -305,6 +308,7 @@ class Node:
 
     def stop(self) -> None:
         self.ctx.cancel_all()
+        self.replica.close()
         self.kv.close()
 
     def crash(self) -> None:

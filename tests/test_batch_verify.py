@@ -1,0 +1,259 @@
+"""Batch verification: aggregate checks must agree with sequential ones.
+
+Covers the crypto-layer batching the hot path relies on:
+
+* ``ThresholdPublicKey.verify_shares`` — blinded aggregate-then-verify
+  with bisection on failure.
+* ``CryptoService.verify_votes`` — batched vote verification equal to
+  per-vote verification for all three schemes, on valid and corrupted
+  inputs.
+* The QC verification LRU cache, including its hit/miss counters on the
+  metrics registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.consensus.crypto_service import (
+    MultisigCryptoService,
+    NullCryptoService,
+    ThresholdCryptoService,
+)
+from repro.consensus.qc import BlockSummary, Phase
+from repro.crypto.hashing import digest_of
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signature
+from repro.crypto.threshold import PartialSignature
+from repro.obs.metrics import MetricsRegistry
+
+N, QUORUM = 4, 3
+
+
+def summary(tag: str = "block", view: int = 1) -> BlockSummary:
+    return BlockSummary(digest=digest_of([tag, view]), view=view, height=view, parent_view=0)
+
+
+@pytest.fixture
+def registry():
+    return KeyRegistry(N, QUORUM, seed=b"batch-tests")
+
+
+def make_service(kind: str, registry: KeyRegistry):
+    if kind == "threshold":
+        return ThresholdCryptoService(registry)
+    if kind == "multisig":
+        return MultisigCryptoService(registry)
+    return NullCryptoService(N, QUORUM)
+
+
+def make_votes(service, block: BlockSummary, signers=range(N), phase=Phase.PREPARE):
+    return [
+        (signer, phase, block.view, block, service.sign_vote(signer, phase, block.view, block))
+        for signer in signers
+    ]
+
+
+def sequential_bad(service, votes) -> list[int]:
+    from repro.common.errors import InvalidVote
+
+    bad = []
+    for index, (signer, phase, view, block, share) in enumerate(votes):
+        try:
+            service.verify_vote(signer, phase, view, block, share)
+        except InvalidVote:
+            bad.append(index)
+    return bad
+
+
+def corrupt(service, votes, index):
+    """Replace one vote's share with a corrupted-but-well-formed one."""
+    signer, phase, view, block, share = votes[index]
+    if isinstance(share, PartialSignature):
+        bad_share = dataclasses.replace(share, value=(share.value + 1) % (2**255 - 19))
+    elif isinstance(share, Signature):
+        bad_share = Signature(data=bytes([share.data[0] ^ 0xFF]) + share.data[1:])
+    else:  # NullShare
+        bad_share = dataclasses.replace(share, tag=b"\x00" * len(share.tag))
+    out = list(votes)
+    out[index] = (signer, phase, view, block, bad_share)
+    return out
+
+
+class TestThresholdShareBatch:
+    def test_all_valid_shares_pass(self, registry):
+        message = b"payload"
+        shares = [registry.partial_sign(signer, message) for signer in range(N)]
+        assert registry.verify_partials_batch(message, shares) == []
+
+    @pytest.mark.parametrize("bad_index", [0, 1, 3])
+    def test_single_bad_share_identified(self, registry, bad_index):
+        message = b"payload"
+        shares = [registry.partial_sign(signer, message) for signer in range(N)]
+        shares[bad_index] = dataclasses.replace(
+            shares[bad_index], value=(shares[bad_index].value + 7) % (2**255 - 19)
+        )
+        assert registry.verify_partials_batch(message, shares) == [bad_index]
+
+    def test_multiple_bad_shares_identified(self, registry):
+        message = b"m"
+        shares = [registry.partial_sign(signer, message) for signer in range(N)]
+        for index in (1, 2):
+            shares[index] = dataclasses.replace(
+                shares[index], value=(shares[index].value + 3) % (2**255 - 19)
+            )
+        assert registry.verify_partials_batch(message, shares) == [1, 2]
+
+    def test_error_cancellation_is_blinded_away(self, registry):
+        # Two corruptions crafted to cancel in an unblinded sum (+d, -d)
+        # must still both be caught by the blinded aggregate check.
+        message = b"m"
+        shares = [registry.partial_sign(signer, message) for signer in range(N)]
+        prime = 2**255 - 19
+        shares[0] = dataclasses.replace(shares[0], value=(shares[0].value + 5) % prime)
+        shares[1] = dataclasses.replace(shares[1], value=(shares[1].value - 5) % prime)
+        assert registry.verify_partials_batch(message, shares) == [0, 1]
+
+
+@pytest.mark.parametrize("kind", ["threshold", "multisig", "null"])
+class TestVerifyVotesMatchesSequential:
+    def test_all_valid(self, kind, registry):
+        service = make_service(kind, registry)
+        votes = make_votes(service, summary())
+        assert service.verify_votes(votes) == sequential_bad(service, votes) == []
+
+    @pytest.mark.parametrize("bad_index", [0, 2])
+    def test_one_corrupted(self, kind, registry, bad_index):
+        service = make_service(kind, registry)
+        votes = corrupt(service, make_votes(service, summary()), bad_index)
+        assert service.verify_votes(votes) == sequential_bad(service, votes) == [bad_index]
+
+    def test_mixed_payload_groups(self, kind, registry):
+        # Batches can mix vote payloads (e.g. prepare + commit in flight).
+        service = make_service(kind, registry)
+        votes = make_votes(service, summary("a"), phase=Phase.PREPARE)
+        votes += make_votes(service, summary("b", view=2), phase=Phase.COMMIT)
+        votes = corrupt(service, votes, 5)
+        assert sorted(service.verify_votes(votes)) == sequential_bad(service, votes) == [5]
+
+    def test_wrong_sender_rejected(self, kind, registry):
+        # A share signed by replica 1 but claimed by replica 0.
+        service = make_service(kind, registry)
+        block = summary()
+        stolen = service.sign_vote(1, Phase.PREPARE, block.view, block)
+        votes = make_votes(service, block, signers=[2, 3])
+        votes.append((0, Phase.PREPARE, block.view, block, stolen))
+        assert service.verify_votes(votes) == sequential_bad(service, votes) == [2]
+
+
+def make_qc(service, block: BlockSummary, phase=Phase.PREPARE):
+    accumulator = service.accumulator(phase, block.view, block)
+    for signer in range(QUORUM):
+        accumulator.add(signer, service.sign_vote(signer, phase, block.view, block))
+    return service.make_qc(phase, block.view, block, accumulator)
+
+
+@pytest.mark.parametrize("kind", ["threshold", "multisig", "null"])
+class TestQCCache:
+    def test_repeat_verification_hits_cache(self, kind, registry):
+        service = make_service(kind, registry)
+        qc = make_qc(service, summary())
+        service.verify_qc(qc)
+        assert (service.qc_cache_hits, service.qc_cache_misses) == (0, 1)
+        for _ in range(3):
+            service.verify_qc(qc)
+        assert (service.qc_cache_hits, service.qc_cache_misses) == (3, 1)
+
+    def test_qc_cached_probe(self, kind, registry):
+        service = make_service(kind, registry)
+        qc = make_qc(service, summary())
+        assert not service.qc_cached(qc)
+        service.verify_qc(qc)
+        assert service.qc_cached(qc)
+        # The probe itself never mutates the counters.
+        assert (service.qc_cache_hits, service.qc_cache_misses) == (0, 1)
+
+    def test_metrics_registry_counters(self, kind, registry):
+        service = make_service(kind, registry)
+        metrics = MetricsRegistry()
+        service.bind_metrics(metrics)
+        qc = make_qc(service, summary())
+        service.verify_qc(qc)
+        service.verify_qc(qc)
+        service.verify_qc(qc)
+        snapshot = metrics.snapshot()["counters"]
+        (hits,) = snapshot["crypto_qc_cache_hits_total"]
+        (misses,) = snapshot["crypto_qc_cache_misses_total"]
+        assert hits["value"] == 2
+        assert misses["value"] == 1
+
+    def test_bind_metrics_seeds_existing_counts(self, kind, registry):
+        service = make_service(kind, registry)
+        qc = make_qc(service, summary())
+        service.verify_qc(qc)
+        service.verify_qc(qc)
+        metrics = MetricsRegistry()
+        service.bind_metrics(metrics)
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["crypto_qc_cache_hits_total"][0]["value"] == 1
+        assert snapshot["crypto_qc_cache_misses_total"][0]["value"] == 1
+
+    def test_failed_verification_not_cached(self, kind, registry):
+        service = make_service(kind, registry)
+        block = summary()
+        qc = make_qc(service, block)
+        forged = dataclasses.replace(qc, view=qc.view + 1)
+        with pytest.raises(CryptoError):
+            service.verify_qc(forged)
+        assert not service.qc_cached(forged)
+        with pytest.raises(CryptoError):
+            service.verify_qc(forged)
+        assert service.qc_cache_hits == 0
+
+    def test_genesis_always_passes_without_cache_traffic(self, kind, registry):
+        from repro.consensus.block import genesis_block
+        from repro.consensus.qc import genesis_qc
+
+        service = make_service(kind, registry)
+        genesis = genesis_qc(genesis_block())
+        service.verify_qc(genesis)
+        assert service.qc_cached(genesis)
+        assert (service.qc_cache_hits, service.qc_cache_misses) == (0, 0)
+
+    def test_verify_qcs_flags_bad_indices(self, kind, registry):
+        service = make_service(kind, registry)
+        good_a = make_qc(service, summary("a"))
+        good_b = make_qc(service, summary("b", view=2))
+        forged = dataclasses.replace(good_a, view=good_a.view + 1)
+        assert service.verify_qcs([good_a, forged, good_b]) == [1]
+
+
+class TestQCCacheEviction:
+    def test_lru_eviction(self, registry):
+        service = NullCryptoService(N, QUORUM, qc_cache_size=2)
+        qcs = [make_qc(service, summary(str(i), view=i + 1)) for i in range(3)]
+        for qc in qcs:
+            service.verify_qc(qc)
+        assert not service.qc_cached(qcs[0])  # evicted, capacity 2
+        assert service.qc_cached(qcs[1]) and service.qc_cached(qcs[2])
+
+
+class TestMultisigConstituents:
+    def test_bad_constituent_identified(self, registry):
+        service = MultisigCryptoService(registry)
+        block = summary()
+        qc = make_qc(service, block)
+        signatures = list(qc.signature.signatures)
+        signer, signature = signatures[1]
+        signatures[1] = (
+            signer,
+            Signature(data=bytes([signature.data[0] ^ 0xFF]) + signature.data[1:]),
+        )
+        forged = dataclasses.replace(
+            qc, signature=dataclasses.replace(qc.signature, signatures=tuple(signatures))
+        )
+        with pytest.raises(CryptoError, match=f"replica {signer}"):
+            service.verify_qc(forged)

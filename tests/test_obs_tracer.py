@@ -6,8 +6,7 @@ import json
 
 import pytest
 
-from repro.harness.scenarios import run_traced_scenario
-from repro.obs.observer import RunObservability
+from repro.api import RunObservability, Scenario, traced_run
 from repro.obs.tracer import LANE_VIEW, NullTracer, Tracer
 
 
@@ -95,7 +94,7 @@ class TestTracerSemantics:
 
 @pytest.fixture(scope="module")
 def traced_marlin():
-    cluster, obs = run_traced_scenario("marlin", f=1, seed=7, sim_time=3.0)
+    cluster, obs = traced_run(Scenario(protocol="marlin", f=1, seed=7), sim_time=3.0)
     return cluster, obs
 
 
@@ -132,14 +131,14 @@ class TestTracedRun:
     def test_identical_seeds_export_identical_traces(self):
         traces = []
         for _ in range(2):
-            _, obs = run_traced_scenario("marlin", f=1, seed=3, sim_time=2.0)
+            _, obs = traced_run(Scenario(protocol="marlin", f=1, seed=3), sim_time=2.0)
             traces.append(obs.tracer.chrome_trace())
         assert traces[0] == traces[1]
         json.loads(traces[0])  # and it is a valid JSON document
 
     def test_view_change_spans_after_leader_crash(self):
-        _, obs = run_traced_scenario(
-            "marlin", f=1, seed=5, sim_time=4.0, crash_leader_at=1.0
+        _, obs = traced_run(
+            Scenario(protocol="marlin", f=1, seed=5), sim_time=4.0, crash_leader_at=1.0
         )
         view_spans = obs.tracer.spans_named("view-change")
         assert view_spans
@@ -149,8 +148,8 @@ class TestTracedRun:
         assert "view-change-sent" in names
 
     def test_metrics_only_mode_still_fills_histograms(self):
-        _, obs = run_traced_scenario(
-            "hotstuff", f=1, seed=2, sim_time=2.0,
+        _, obs = traced_run(
+            Scenario(protocol="hotstuff", f=1, seed=2), sim_time=2.0,
             observability=RunObservability(trace=False),
         )
         assert obs.tracer.spans == []

@@ -1,0 +1,100 @@
+"""The public API contract: ``__all__`` resolves, the facade works, and
+legacy entry points keep working behind deprecation warnings."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.api
+from repro.api import PipelineConfig, Scenario, load_point, traced_run
+
+
+class TestAllIsTheContract:
+    @pytest.mark.parametrize("name", sorted(repro.__all__))
+    def test_repro_all_resolves(self, name):
+        assert hasattr(repro, name), f"repro.__all__ lists {name} but it does not resolve"
+
+    @pytest.mark.parametrize("name", sorted(repro.api.__all__))
+    def test_api_all_resolves(self, name):
+        assert hasattr(repro.api, name), (
+            f"repro.api.__all__ lists {name} but it does not resolve"
+        )
+
+    def test_facade_reexports_are_the_same_objects(self):
+        assert repro.Scenario is repro.api.Scenario
+        assert repro.PipelineConfig is repro.api.PipelineConfig
+        assert repro.DESCluster is repro.api.DESCluster
+        assert repro.LocalCluster is repro.api.LocalCluster
+
+
+class TestScenarioFacade:
+    def test_scenario_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Scenario("marlin")  # positional use is not part of the contract
+
+    def test_scenario_is_frozen(self):
+        scenario = Scenario(protocol="marlin")
+        with pytest.raises(Exception):
+            scenario.f = 2
+
+    def test_load_point_runs(self):
+        result = load_point(
+            Scenario(protocol="marlin", f=1, clients=16, sim_time=2.0, warmup=0.5)
+        )
+        assert result.throughput_tps > 0
+        assert result.clients == 16
+
+    def test_load_point_with_pipeline_runs(self):
+        result = load_point(
+            Scenario(
+                protocol="marlin", f=1, clients=16, sim_time=2.0, warmup=0.5,
+                pipeline=PipelineConfig(),
+            )
+        )
+        assert result.throughput_tps > 0
+
+    def test_traced_run_returns_cluster_and_observability(self):
+        cluster, obs = traced_run(
+            Scenario(protocol="marlin", f=1, seed=2), sim_time=1.5
+        )
+        assert cluster.experiment.cluster.num_replicas == 4
+        assert obs.tracer.spans
+
+
+class TestDeprecatedAliases:
+    def test_run_load_point_warns_and_delegates(self):
+        from repro.harness.scenarios import run_load_point
+
+        with pytest.warns(DeprecationWarning, match="repro.api.load_point"):
+            result = run_load_point("marlin", 1, 16, sim_time=2.0, warmup=0.5)
+        assert result.throughput_tps > 0
+
+    def test_run_traced_scenario_warns_and_delegates(self):
+        from repro.harness.scenarios import run_traced_scenario
+
+        with pytest.warns(DeprecationWarning, match="repro.api.traced_run"):
+            _, obs = run_traced_scenario("marlin", f=1, seed=2, sim_time=1.5)
+        assert obs.tracer.spans
+
+    def test_throughput_latency_curve_warns_and_delegates(self):
+        from repro.harness.scenarios import throughput_latency_curve
+
+        with pytest.warns(DeprecationWarning, match="repro.api.throughput_curve"):
+            curve = throughput_latency_curve(
+                "marlin", 1, [16], sim_time=2.0, warmup=0.5
+            )
+        assert len(curve) == 1
+
+    def test_peak_throughput_warns_and_delegates(self):
+        from repro.harness.scenarios import peak_throughput
+
+        with pytest.warns(DeprecationWarning, match="repro.api.peak_throughput"):
+            peak, curve = peak_throughput(
+                "marlin", 1, [16], sim_time=2.0, warmup=0.5
+            )
+        assert curve and peak >= 0
+
+    def test_new_facade_does_not_warn(self, recwarn):
+        load_point(Scenario(protocol="marlin", f=1, clients=16, sim_time=2.0, warmup=0.5))
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
