@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: raw DES core speed, guarded against regression.
+
+Runs one fixed normal-case scenario (marlin, f=1, 512 closed-loop
+clients, null crypto, 40 simulated seconds — ~20k events) several times
+and reports the best events/sec and sim-seconds-per-wall-second.  The
+event count is asserted against the committed baseline exactly: it is a
+pure function of the scenario, so any drift means simulator behaviour
+changed, not just its speed.
+
+The wall-clock guard compares against ``benchmarks/BENCH_DES_SPEED.json``
+and fails if events/sec drops more than ``--tolerance`` (default 20%)
+below the recorded baseline.  The baseline is machine-dependent; after an
+intentional change (or on new hardware) regenerate it with::
+
+    python benchmarks/bench_des_speed.py --write-baseline
+
+Run:  python benchmarks/bench_des_speed.py          (~10 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.harness.des_runtime import DESCluster
+from repro.harness.report import format_table
+from repro.harness.workload import ClosedLoopClients
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_DES_SPEED.json"
+
+# The fixed scenario.  Keep in lockstep with the committed baseline: any
+# change here invalidates it (the guard catches this via the event count).
+SCENARIO = {
+    "protocol": "marlin",
+    "f": 1,
+    "clients": 512,
+    "token_weight": 1,
+    "target": "all",
+    "batch": 400,
+    "base_timeout": 120.0,
+    "max_timeout": 240.0,
+    "seed": 1,
+    "crypto": "null",
+    "warmup": 3.0,
+    "sim_time": 40.0,
+}
+
+
+def run_once() -> tuple[int, float, float]:
+    """One timed run; returns (events_processed, sim_seconds, wall_seconds)."""
+    cluster_cfg = ClusterConfig.for_f(
+        SCENARIO["f"],
+        batch_size=SCENARIO["batch"],
+        base_timeout=SCENARIO["base_timeout"],
+        max_timeout=SCENARIO["max_timeout"],
+    )
+    experiment = ExperimentConfig(cluster=cluster_cfg, seed=SCENARIO["seed"])
+    cluster = DESCluster(
+        experiment, protocol=SCENARIO["protocol"], crypto_mode=SCENARIO["crypto"]
+    )
+    pool = ClosedLoopClients(
+        cluster,
+        num_clients=SCENARIO["clients"],
+        request_size=150,
+        reply_size=150,
+        token_weight=SCENARIO["token_weight"],
+        target=SCENARIO["target"],
+        warmup=SCENARIO["warmup"],
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    start = time.perf_counter()
+    cluster.run(until=SCENARIO["sim_time"])
+    wall = time.perf_counter() - start
+    cluster.assert_safety()
+    return cluster.sim.events_processed, cluster.sim.now, wall
+
+
+def measure(rounds: int) -> dict:
+    """Best-of-``rounds`` measurement of the fixed scenario."""
+    best = None
+    events = None
+    for _ in range(rounds):
+        ev, sim_seconds, wall = run_once()
+        if events is None:
+            events = ev
+        elif ev != events:
+            raise RuntimeError(
+                f"non-deterministic event count: {ev} != {events}"
+            )
+        if best is None or wall < best[1]:
+            best = (sim_seconds, wall)
+    sim_seconds, wall = best
+    return {
+        "events": events,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+        "sim_seconds_per_wall_second": round(sim_seconds / wall, 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=5, help="timed repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed events/sec drop vs baseline (fraction, default 0.20)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record this run as the new baseline instead of gating",
+    )
+    args = parser.parse_args()
+
+    run = measure(args.rounds)
+    rows = [
+        ["events processed", f"{run['events']:,}"],
+        ["best wall clock", f"{run['wall_seconds']:.3f} s"],
+        ["events/sec", f"{run['events_per_sec']:,.0f}"],
+        ["sim s / wall s", f"{run['sim_seconds_per_wall_second']:.1f}"],
+    ]
+    print(format_table("DES core speed (marlin, f=1, 512 clients, 40 sim s)",
+                       ["metric", "value"], rows))
+
+    if args.write_baseline:
+        baseline = {"scenario": SCENARIO, **run}
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read baseline {BASELINE_PATH}: {exc}", file=sys.stderr)
+        return 1
+
+    if run["events"] != baseline["events"]:
+        failures.append(
+            f"event count {run['events']} != baseline {baseline['events']} "
+            "— simulator behaviour changed, regenerate the baseline deliberately"
+        )
+    floor = baseline["events_per_sec"] * (1.0 - args.tolerance)
+    delta = run["events_per_sec"] / baseline["events_per_sec"] - 1
+    print(
+        f"events/sec vs baseline {baseline['events_per_sec']:,.0f}: {delta * 100:+.1f}% "
+        f"(floor at -{args.tolerance * 100:.0f}%)"
+    )
+    if run["events_per_sec"] < floor:
+        failures.append(
+            f"events/sec {run['events_per_sec']:,.0f} fell more than "
+            f"{args.tolerance * 100:.0f}% below baseline {baseline['events_per_sec']:,.0f}"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: DES core speed within tolerance of the recorded baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

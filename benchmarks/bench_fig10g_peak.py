@@ -8,7 +8,7 @@ overall factor (the paper: 101.27 -> 23.15 ktx/s, a ~4.4x drop).
 
 from __future__ import annotations
 
-from benchmarks.conftest import PAPER_FIG10G_HOTSTUFF, PAPER_FIG10G_MARLIN
+from benchmarks.conftest import BENCH_JOBS, PAPER_FIG10G_HOTSTUFF, PAPER_FIG10G_MARLIN
 from repro.api import Scenario, peak_throughput
 from repro.harness.report import format_table, ktx
 
@@ -20,7 +20,9 @@ def test_fig10g_peak_throughput(once, benchmark):
         peaks: dict[str, dict[int, float]] = {"marlin": {}, "hotstuff": {}}
         for f in F_VALUES:
             for protocol in peaks:
-                peak, _ = peak_throughput(Scenario(protocol=protocol, f=f))
+                peak, _ = peak_throughput(
+                    Scenario(protocol=protocol, f=f), jobs=BENCH_JOBS
+                )
                 peaks[protocol][f] = peak
         return peaks
 

@@ -10,7 +10,7 @@ more than half).
 
 from __future__ import annotations
 
-from benchmarks.conftest import PAPER_FIG10H_HOTSTUFF, PAPER_FIG10H_MARLIN
+from benchmarks.conftest import BENCH_JOBS, PAPER_FIG10H_HOTSTUFF, PAPER_FIG10H_MARLIN
 from repro.api import Scenario, default_client_sweep, peak_at_latency_cap, throughput_curve
 from repro.harness.report import format_table, ktx
 
@@ -28,6 +28,7 @@ def _peak(protocol: str, f: int, request_size: int, reply_size: int) -> float:
     curve = throughput_curve(
         Scenario(protocol=protocol, f=f, request_size=request_size, reply_size=reply_size),
         sweep,
+        jobs=BENCH_JOBS,
     )
     return peak_at_latency_cap(curve)
 

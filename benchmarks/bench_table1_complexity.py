@@ -86,6 +86,82 @@ def test_normal_case_cost_per_block(once, benchmark):
     )
 
 
+def test_per_pair_link_bytes(once, benchmark):
+    """Per-link byte accounting from the network's ``TrafficStats``.
+
+    Under a stable leader the byte load is star-shaped: the leader's
+    outbound links carry the proposal payloads while replica-to-leader
+    links carry only constant-size votes.  The per-pair byte counters
+    make that visible per directed link — the same linearity Table I
+    states in aggregate.
+    """
+    from repro.common.config import ClusterConfig, ExperimentConfig
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.workload import ClosedLoopClients
+
+    def run():
+        cfg = ClusterConfig.for_f(1, batch_size=400, base_timeout=60.0)
+        cluster = DESCluster(
+            ExperimentConfig(cluster=cfg, seed=6), protocol="marlin", crypto_mode="null"
+        )
+        pool = ClosedLoopClients(cluster, num_clients=256, token_weight=2, warmup=2.0)
+        cluster.start()
+        cluster.sim.schedule(0.01, pool.start)
+        # Measure steady state only: drop boot-time traffic at warm-up.
+        cluster.sim.schedule(2.0, cluster.network.reset_stats)
+        cluster.run(until=10.0)
+        cluster.assert_safety()
+        stats = cluster.network.stats
+        n = cluster.experiment.cluster.num_replicas
+        pairs = {
+            (src, dst): (stats.per_pair[(src, dst)], stats.per_pair_bytes[(src, dst)])
+            for src, dst in stats.per_pair
+            # Replica-to-replica links only: skip the client hub and the
+            # loopback delivery of a replica's own broadcasts.
+            if src < n and dst < n and src != dst
+        }
+        return pairs, n
+
+    pairs, n = once(run)
+    rows = [
+        [f"{src}->{dst}", str(msgs), str(nbytes), f"{nbytes / msgs:.0f}"]
+        for (src, dst), (msgs, nbytes) in sorted(pairs.items())
+    ]
+    print(
+        format_table(
+            "per-link traffic under a stable leader (marlin, f=1, steady state)",
+            ["link", "msgs", "bytes", "B/msg"],
+            rows,
+        )
+    )
+    benchmark.extra_info["per_pair_bytes"] = {
+        f"{src}->{dst}": nbytes for (src, dst), (_, nbytes) in pairs.items()
+    }
+
+    leader = 0  # replica 0 leads view 1 and is never deposed here
+    leader_out = sum(b for (src, _), (_, b) in pairs.items() if src == leader)
+    follower_out = sum(b for (src, _), (_, b) in pairs.items() if src != leader)
+    assert leader_out > follower_out, (
+        "leader outbound links must dominate the byte load (proposal payloads)"
+    )
+    # Star shape: the leader proposes to every follower, every follower
+    # votes back to the leader, and followers never talk to each other.
+    assert {pair for pair in pairs if pair[0] == leader} == {
+        (leader, dst) for dst in range(1, n)
+    }
+    assert {pair for pair in pairs if pair[0] != leader} == {
+        (src, leader) for src in range(1, n)
+    }
+    # Vote links are constant-size; proposal links carry the batches.
+    vote_bytes_per_msg = max(
+        nbytes / msgs for (src, _), (msgs, nbytes) in pairs.items() if src != leader
+    )
+    proposal_bytes_per_msg = min(
+        nbytes / msgs for (src, _), (msgs, nbytes) in pairs.items() if src == leader
+    )
+    assert proposal_bytes_per_msg > vote_bytes_per_msg * 10
+
+
 def test_table1_measured_view_change_cost(once, benchmark):
     def run():
         results = {}

@@ -8,7 +8,18 @@ table plus ``extra_info`` on each benchmark record.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+BENCH_JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+"""Worker processes for the sweep-based benchmarks (``REPRO_BENCH_JOBS``).
+
+The default of 1 keeps CI runs serial (and lets the fig10 curves collect
+per-phase observability, which is process-local); set e.g.
+``REPRO_BENCH_JOBS=4`` locally to fan the independent load points across
+four processes.  Results are byte-identical either way.
+"""
 
 
 def pytest_configure(config):

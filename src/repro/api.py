@@ -51,6 +51,7 @@ from repro.harness.scenarios import (
     rotating_leader_throughput,
     view_change_latency,
 )
+from repro.harness.parallel import ResultCache, SweepExecutor, code_fingerprint
 from repro.harness.workload import ClosedLoopClients
 from repro.obs.observer import RunObservability
 from repro.runtime.cluster import LocalCluster
@@ -67,11 +68,14 @@ __all__ = [
     "NetworkProfile",
     "NormalCaseCost",
     "PipelineConfig",
+    "ResultCache",
     "RunObservability",
     "RunResult",
     "Scenario",
+    "SweepExecutor",
     "ViewChangeCost",
     "ViewChangeResult",
+    "code_fingerprint",
     "default_client_sweep",
     "load_point",
     "measure_normal_case_cost",
@@ -168,8 +172,17 @@ def throughput_curve(
     *,
     latency_cap: float = LATENCY_CAP,
     observability: RunObservability | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | None = None,
 ) -> list[RunResult]:
-    """Sweep client counts until mean latency crosses ``latency_cap``."""
+    """Sweep client counts until mean latency crosses ``latency_cap``.
+
+    ``jobs`` runs the independent points across that many worker
+    processes and ``use_cache`` reuses on-disk results (keyed by scenario
+    and code fingerprint; see :mod:`repro.harness.parallel`).  Either
+    way the returned curve is byte-identical to the serial sweep.
+    """
     if client_counts is None:
         client_counts = default_client_sweep(scenario.f)
     return _throughput_latency_curve(
@@ -177,6 +190,9 @@ def throughput_curve(
         scenario.f,
         client_counts,
         latency_cap,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
         observability=observability,
         sim_time=scenario.sim_time,
         warmup=scenario.warmup,
@@ -193,13 +209,27 @@ def peak_throughput(
     client_counts: list[int] | None = None,
     *,
     latency_cap: float = LATENCY_CAP,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | None = None,
+    strategy: str = "sweep",
 ) -> tuple[float, list[RunResult]]:
-    """Peak throughput at the latency cap, plus the raw curve."""
+    """Peak throughput at the latency cap, plus the raw curve.
+
+    ``strategy="bisect"`` binary-searches the client grid for the cap
+    crossing instead of sweeping it linearly (valid because closed-loop
+    latency is monotone in the population); combine with ``jobs`` for
+    parallel probing.
+    """
     return _peak_throughput(
         scenario.protocol,
         scenario.f,
         client_counts,
         latency_cap,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        strategy=strategy,
         sim_time=scenario.sim_time,
         warmup=scenario.warmup,
         request_size=scenario.request_size,

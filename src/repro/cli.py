@@ -61,7 +61,9 @@ def _cmd_curve(args: argparse.Namespace) -> None:
     from repro.api import Scenario, peak_at_latency_cap, throughput_curve
 
     curve = throughput_curve(
-        Scenario(protocol=args.protocol, f=args.f, sim_time=args.sim_time)
+        Scenario(protocol=args.protocol, f=args.f, sim_time=args.sim_time),
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
     )
     rows = [
         [str(p.clients), ktx(p.throughput_tps), ms(p.mean_latency), ms(p.p99_latency)]
@@ -97,7 +99,12 @@ def _cmd_peak(args: argparse.Namespace) -> None:
     rows = []
     peaks: dict[str, float] = {}
     for protocol in ("marlin", "hotstuff"):
-        peak, _ = peak_throughput(Scenario(protocol=protocol, f=args.f, sim_time=args.sim_time))
+        peak, _ = peak_throughput(
+            Scenario(protocol=protocol, f=args.f, sim_time=args.sim_time),
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            strategy=args.strategy,
+        )
         peaks[protocol] = peak
         rows.append([protocol, ktx(peak)])
     print(format_table(f"peak throughput (f={args.f})", ["protocol", "ktx/s"], rows))
@@ -310,12 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_point)
 
+    def add_sweep_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the sweep (results identical to serial)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the on-disk result cache ($REPRO_CACHE_DIR or ~/.cache/repro-marlin)",
+        )
+
     p = sub.add_parser("curve", help="throughput-latency sweep (Fig. 10a-f)")
+    add_sweep_args(p)
     common(p)
     p.add_argument("--csv", default=None, help="also write the curve to a CSV file")
     p.set_defaults(func=_cmd_curve)
 
     p = sub.add_parser("peak", help="peak throughput, both protocols (Fig. 10g)")
+    add_sweep_args(p)
+    p.add_argument(
+        "--strategy", choices=("sweep", "bisect"), default="sweep",
+        help="client-grid search: linear sweep (paper methodology) or bisection",
+    )
     common(p, protocol=False)
     p.add_argument("--save", default=None, help="write metrics to a JSON result store")
     p.set_defaults(func=_cmd_peak)

@@ -74,8 +74,48 @@ def _encode_into(value: Any, out: bytearray) -> None:
     elif isinstance(value, (list, tuple)):
         out += _LIST
         out += _U32.pack(len(value))
+        # Inline the two dominant item types (ints and byte strings):
+        # block digests encode thousands of flat [int, int, bytes, int]
+        # operation records, and recursing per primitive costs more than
+        # encoding it.  ``type() is`` keeps bool (an int subclass) and
+        # bytes subclasses on the recursive path, so output is identical.
         for item in value:
-            _encode_into(item, out)
+            kind = type(item)
+            if kind is int:
+                out += _INT
+                try:
+                    out += _I64.pack(item)
+                except struct.error as exc:
+                    raise EncodingError(
+                        f"integer out of 64-bit range: {item}"
+                    ) from exc
+            elif kind is bytes:
+                out += _BYTES
+                out += _U32.pack(len(item))
+                out += item
+            elif kind is list or kind is tuple:
+                # One more inline level: a block's operation list is a
+                # list of flat [int, int, bytes, int] records.
+                out += _LIST
+                out += _U32.pack(len(item))
+                for sub in item:
+                    sub_kind = type(sub)
+                    if sub_kind is int:
+                        out += _INT
+                        try:
+                            out += _I64.pack(sub)
+                        except struct.error as exc:
+                            raise EncodingError(
+                                f"integer out of 64-bit range: {sub}"
+                            ) from exc
+                    elif sub_kind is bytes:
+                        out += _BYTES
+                        out += _U32.pack(len(sub))
+                        out += sub
+                    else:
+                        _encode_into(sub, out)
+            else:
+                _encode_into(item, out)
     elif isinstance(value, dict):
         out += _DICT
         out += _U32.pack(len(value))

@@ -33,7 +33,6 @@ OPERATION_OVERHEAD = 16
 """Wire overhead per operation: client id, sequence number, length."""
 
 
-@dataclass(frozen=True)
 class Operation:
     """One client operation: an opaque payload plus its provenance.
 
@@ -42,27 +41,56 @@ class Operation:
     (wire size, execution cost and throughput all scale by it) that keeps
     object counts manageable at paper-scale loads.  Real deployments use
     ``weight == 1``.
+
+    Hand-written rather than a frozen dataclass: the workload generator
+    creates one Operation per simulated request, and a frozen dataclass
+    pays an ``object.__setattr__`` per field on every construction.  The
+    wire size and dedup key are precomputed here because they are read on
+    every hot path (batching, sizing, reply matching).
     """
 
-    client_id: int
-    sequence: int
-    payload: bytes = b""
-    weight: int = 1
+    __slots__ = ("client_id", "sequence", "payload", "weight", "wire_size", "_key")
 
-    def __post_init__(self) -> None:
-        if self.weight < 1:
-            raise InvalidBlock(f"operation weight must be >= 1, got {self.weight}")
-
-    @property
-    def wire_size(self) -> int:
-        return (OPERATION_OVERHEAD + len(self.payload)) * self.weight
+    def __init__(
+        self,
+        client_id: int,
+        sequence: int,
+        payload: bytes = b"",
+        weight: int = 1,
+    ) -> None:
+        if weight < 1:
+            raise InvalidBlock(f"operation weight must be >= 1, got {weight}")
+        self.client_id = client_id
+        self.sequence = sequence
+        self.payload = payload
+        self.weight = weight
+        self.wire_size = (OPERATION_OVERHEAD + len(payload)) * weight
+        self._key = (client_id, sequence)
 
     def key(self) -> tuple[int, int]:
         """Deduplication key: (client, sequence)."""
-        return (self.client_id, self.sequence)
+        return self._key
 
     def encodable(self) -> list:
         return [self.client_id, self.sequence, self.payload, self.weight]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return (
+            self._key == other._key
+            and self.payload == other.payload
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.client_id, self.sequence, self.payload, self.weight))
+
+    def __repr__(self) -> str:
+        return (
+            f"Operation(client_id={self.client_id}, sequence={self.sequence}, "
+            f"payload={self.payload!r}, weight={self.weight})"
+        )
 
 
 @dataclass(frozen=True)
@@ -104,18 +132,18 @@ class Block:
                 self.parent_view,
                 self.view,
                 self.height,
-                [op.encodable() for op in self.operations],
+                [[op.client_id, op.sequence, op.payload, op.weight] for op in self.operations],
                 self.justify_digest,
                 self.proposer,
             ]
         )
 
-    @property
+    @cached_property
     def num_ops(self) -> int:
         """Logical operation count (weighted)."""
         return sum(op.weight for op in self.operations)
 
-    @property
+    @cached_property
     def payload_size(self) -> int:
         return sum(op.wire_size for op in self.operations)
 
@@ -124,7 +152,7 @@ class Block:
         """Wire size of everything except the operation payload."""
         return 32 + 8 + 8 + 8 + 32 + 8
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         return self.header_size + self.payload_size
 
@@ -189,11 +217,31 @@ class BatchPool:
 
     def add(self, op: Operation) -> bool:
         """Queue an operation; duplicate (client, seq) pairs are dropped."""
-        if op.key() in self._seen:
+        key = op._key
+        seen = self._seen
+        if key in seen:
             return False
-        self._seen.add(op.key())
+        seen.add(key)
         self._pending.append(op)
         return True
+
+    def add_many(self, ops) -> bool:
+        """Bulk :meth:`add`; True if any operation was admitted.
+
+        One call per client batch instead of one per operation — the DES
+        workload generator delivers hundreds of operations per message.
+        """
+        seen = self._seen
+        pending = self._pending
+        admitted = False
+        for op in ops:
+            key = op._key
+            if key in seen:
+                continue
+            seen.add(key)
+            pending.append(op)
+            admitted = True
+        return admitted
 
     def next_batch(self) -> tuple[Operation, ...]:
         """Remove and return up to ``max_batch`` weighted operations (FIFO).
@@ -250,14 +298,15 @@ class BatchPool:
 
     def forget(self, ops: tuple[Operation, ...]) -> None:
         """Prune committed operations from the pending queue."""
-        keys = {op.key() for op in ops}
+        keys = {op._key for op in ops}
         if not keys:
             return
-        self._pending = [op for op in self._pending if op.key() not in keys]
-        if self._staged is not None and any(op.key() in keys for op in self._staged):
+        if self._pending:
+            self._pending = [op for op in self._pending if op._key not in keys]
+        if self._staged is not None and any(op._key in keys for op in self._staged):
             # A speculative batch containing now-committed operations is
             # stale; drop those ops and invalidate any block built on it.
-            self._staged = tuple(op for op in self._staged if op.key() not in keys)
+            self._staged = tuple(op for op in self._staged if op._key not in keys)
             self.staged_epoch += 1
 
     @property

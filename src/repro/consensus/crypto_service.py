@@ -24,6 +24,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Sequence
 
 from repro.common.errors import CryptoError, InvalidVote
@@ -403,7 +404,11 @@ class NullCryptoService(CryptoService):
             raise CryptoError("token tag does not match QC contents")
 
     @staticmethod
+    @lru_cache(maxsize=4096)
     def _tag(phase: Phase, view: int, block: BlockSummary) -> bytes:
+        # Pure function of its arguments; sign/verify/accumulate for one
+        # vote round all recompute the same tag, so memoize it.  A
+        # BlockSummary is a frozen dataclass, hence hashable.
         from repro.crypto.hashing import hash_bytes
 
         return hash_bytes(vote_payload(phase, view, block))

@@ -133,18 +133,22 @@ class Ledger:
             raise SafetyViolation(
                 f"block {block!r} conflicts with committed head {self.committed_head!r}"
             )
+        executed = self._executed_keys
+        on_execute = self._on_execute
+        on_commit_block = self._on_commit_block
         for node in path:
             self._committed.append(node.digest)
             self._committed_set.add(node.digest)
             for op in node.operations:
                 # Exactly-once execution: an operation re-proposed by a
                 # later leader (possible under rotation) executes once.
-                if op.key() in self._executed_keys:
+                key = op._key
+                if key in executed:
                     continue
-                self._executed_keys.add(op.key())
+                executed.add(key)
                 self._ops_committed += op.weight
-                if self._on_execute is not None:
-                    self._on_execute(node, op)
-            if self._on_commit_block is not None:
-                self._on_commit_block(node)
+                if on_execute is not None:
+                    on_execute(node, op)
+            if on_commit_block is not None:
+                on_commit_block(node)
         return path

@@ -28,6 +28,7 @@ Table I communication accounting see realistic byte counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any
 
 from repro.common.errors import ProtocolError
@@ -58,7 +59,7 @@ class Justify:
     def is_composite(self) -> bool:
         return self.vc is not None
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         total = self.qc.wire_size
         if self.vc is not None:
@@ -90,7 +91,7 @@ class PhaseMsg:
         if self.phase in (Phase.PRECOMMIT, Phase.COMMIT, Phase.DECIDE) and self.block is not None:
             raise ProtocolError(f"{self.phase.value} messages are QC-only")
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         total = 1 + 8 + self.justify.wire_size
         if self.block is not None:
@@ -132,7 +133,7 @@ class PrePrepareMsg:
             if first.block.operations != second.block.operations:
                 raise ProtocolError("shadow blocks must share their operation payload")
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         total = 8
         for index, proposal in enumerate(self.proposals):
@@ -203,7 +204,7 @@ class AggregateNewView:
         if not self.proofs:
             raise ProtocolError("an aggregate new-view needs its proof quorum")
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         total = 8 + self.block.wire_size + self.justify.wire_size
         for _, proof in self.proofs:
@@ -234,7 +235,7 @@ class SyncResponse:
     blocks: tuple[Block, ...]
     resolutions: tuple[tuple[bytes, bytes], ...] = ()
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         return (
             4
@@ -268,7 +269,7 @@ class StateTransferResponse:
     recent_blocks: tuple[Block, ...]
     app_entries: tuple[tuple[bytes, bytes], ...]
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         total = 16
         if self.head is not None:
@@ -302,7 +303,7 @@ class ClientRequestBatch:
 
     operations: tuple[Operation, ...]
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         return 4 + sum(op.wire_size for op in self.operations)
 

@@ -163,7 +163,8 @@ class ReplicaBase(ABC):
     def on_message(self, src: int, payload: Any) -> None:
         """Single entry point for every inbound message."""
         self.stats["messages_handled"] += 1
-        self.obs.message_handled(payload)
+        if self.obs.enabled:
+            self.obs.message_handled(payload)
         self.ctx.charge(self.costs.handle_message())
         handler = self.handlers.get(type(payload))
         if handler is None:
@@ -253,8 +254,7 @@ class ReplicaBase(ABC):
 
     def submit_operations(self, ops: list[Operation]) -> None:
         """Bulk intake used by the DES workload generator (leader only)."""
-        for op in ops:
-            self.pool.add(op)
+        self.pool.add_many(ops)
         if self.is_leader():
             self._maybe_propose()
 
@@ -268,8 +268,7 @@ class ReplicaBase(ABC):
         after a rotation) rather than forwarding — the generator already
         fans batches out to every replica it wants them at.
         """
-        for op in batch.operations:
-            self.pool.add(op)
+        self.pool.add_many(batch.operations)
         if self.is_leader():
             self._maybe_propose()
 
@@ -304,7 +303,8 @@ class ReplicaBase(ABC):
     def _on_block_committed(self, block: Block) -> None:
         self.stats["blocks_committed"] += 1
         self.stats["ops_committed"] += len(block.operations)
-        self.obs.block_committed(block.digest, block.height, len(block.operations))
+        if self.obs.enabled:
+            self.obs.block_committed(block.digest, block.height, len(block.operations))
         self.pool.forget(block.operations)
         now = self.ctx.now
         if self._batch_controller is not None:
@@ -404,7 +404,8 @@ class ReplicaBase(ABC):
 
     def _send_vote(self, dst: int, vote: Any) -> None:
         self.stats["votes_sent"] += 1
-        self.obs.vote_sent(getattr(vote, "phase", None))
+        if self.obs.enabled:
+            self.obs.vote_sent(getattr(vote, "phase", None))
         self.ctx.charge(self.costs.sign_vote())
         self.ctx.send(dst, vote)
 

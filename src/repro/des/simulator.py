@@ -1,19 +1,22 @@
 """The discrete-event simulator core.
 
-A :class:`Simulator` owns a priority queue of :class:`Event` objects,
-ordered by (time, sequence).  The sequence number makes ordering total and
+A :class:`Simulator` owns a priority queue of scheduled callbacks ordered
+by (time, sequence).  The sequence number makes ordering total and
 deterministic: two events scheduled for the same instant fire in the order
 they were scheduled, on every run.
 
-Events carry an arbitrary zero-argument callback.  Cancellation is
-tombstone-based (O(1)); cancelled events are skipped when popped.
+Hot-path design: the heap holds plain ``(time, seq, event)`` tuples, so
+every sift comparison during push/pop is a C-level tuple compare on a
+float and an int — the sequence number is unique, so the :class:`Event`
+handle in the third slot is never compared.  The handle itself is a
+``__slots__`` object that exists only to support O(1) tombstone
+cancellation; cancelled events are skipped when popped.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.common.errors import ReproError
@@ -23,19 +26,25 @@ class SimulationError(ReproError):
     """The simulation reached an invalid state (e.g. time went backwards)."""
 
 
-@dataclass(order=True)
 class Event:
-    """One scheduled callback; orderable by (time, seq)."""
+    """Cancel handle for one scheduled callback."""
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it; idempotent."""
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}, {self.label!r}{state})"
 
 
 class Simulator:
@@ -51,7 +60,7 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._rng = random.Random(seed)
         self._events_processed = 0
         self._running = False
@@ -79,9 +88,11 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=self._seq, callback=callback, label=label)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, label)
+        heappush(self._queue, (time, seq, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -102,24 +113,25 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        queue = self._queue
         try:
             processed_this_run = 0
-            while self._queue:
+            while queue:
                 if max_events is not None and processed_this_run >= max_events:
                     break
-                event = self._queue[0]
+                time, _, event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     self._now = until
                     return
-                heapq.heappop(self._queue)
-                if event.time < self._now:
+                heappop(queue)
+                if time < self._now:
                     raise SimulationError(
-                        f"event at t={event.time} popped after clock reached {self._now}"
+                        f"event at t={time} popped after clock reached {self._now}"
                     )
-                self._now = event.time
+                self._now = time
                 event.callback()
                 self._events_processed += 1
                 processed_this_run += 1
@@ -129,12 +141,21 @@ class Simulator:
             self._running = False
 
     def step(self) -> bool:
-        """Process exactly one (non-cancelled) event; False if queue empty."""
+        """Process exactly one (non-cancelled) event; False if queue empty.
+
+        Enforces the same monotonic-clock invariant as :meth:`run`: a
+        popped event earlier than the current clock raises
+        :class:`SimulationError` instead of silently rewinding time.
+        """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _, event = heappop(self._queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            if time < self._now:
+                raise SimulationError(
+                    f"event at t={time} popped after clock reached {self._now}"
+                )
+            self._now = time
             event.callback()
             self._events_processed += 1
             return True

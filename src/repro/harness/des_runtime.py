@@ -128,15 +128,22 @@ class DESCluster:
         self.observability = observability
         cluster = experiment.cluster
         self.sim = Simulator(seed=experiment.seed)
+        sizer = WireSizer()
         self.network = SimNetwork(
             self.sim,
             experiment.network,
-            WireSizer(),
+            sizer,
             metrics=observability.net if observability is not None else None,
         )
         self.crypto = self._make_crypto(crypto_mode, cluster.num_replicas, cluster.quorum)
         if observability is not None:
             self.crypto.bind_metrics(observability.registry)
+            sizer.bind_fallback_counter(
+                observability.registry.counter(
+                    "net_sizer_fallbacks_total",
+                    "Payloads priced at the default size because no wire sizer matched",
+                )
+            )
         # The simulator must never see real threads: force the inline
         # verifier so determinism and the cost-model accounting hold.
         self.pipeline = pipeline.for_des() if pipeline is not None else None

@@ -19,6 +19,7 @@ import warnings
 from dataclasses import dataclass
 
 from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.common.errors import ConfigError
 from repro.harness.des_runtime import DESCluster
 from repro.harness.metrics import RunResult
 from repro.harness.workload import ClosedLoopClients
@@ -75,6 +76,40 @@ def _load_point(
     per-replica metrics and per-phase latency histograms; the result's
     ``phase_latency`` field is then populated from them.
     """
+    result, _ = _load_point_ex(
+        protocol,
+        f,
+        clients,
+        sim_time=sim_time,
+        warmup=warmup,
+        request_size=request_size,
+        reply_size=reply_size,
+        seed=seed,
+        observability=observability,
+        pipeline=pipeline,
+        crypto=crypto,
+    )
+    return result
+
+
+def _load_point_ex(
+    protocol: str,
+    f: int,
+    clients: int,
+    sim_time: float = 22.0,
+    warmup: float = 7.0,
+    request_size: int = 150,
+    reply_size: int = 150,
+    seed: int = 1,
+    observability=None,
+    pipeline=None,
+    crypto: str = "null",
+) -> tuple[RunResult, DESCluster]:
+    """:func:`_load_point` that also returns the finished cluster.
+
+    The parallel sweep workers use the cluster to fingerprint the commit
+    trace, so serial and multi-process runs can be proven identical.
+    """
     experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
     cluster = DESCluster(
         experiment,
@@ -102,7 +137,7 @@ def _load_point(
         phase_latency = observability.phase_latency_summary()
     summary = clients_pool.summary()
     duration = sim_time - warmup
-    return RunResult(
+    result = RunResult(
         clients=clients,
         throughput_tps=clients_pool.throughput.throughput(duration=duration),
         mean_latency=summary["mean_latency"],
@@ -112,6 +147,7 @@ def _load_point(
         sim_time=sim_time,
         phase_latency=phase_latency,
     )
+    return result, cluster
 
 
 def _traced_scenario(
@@ -166,13 +202,37 @@ def _throughput_latency_curve(
     f: int,
     client_counts: list[int],
     latency_cap: float = LATENCY_CAP,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
     **kwargs,
 ) -> list[RunResult]:
     """Sweep the client population, stopping once latency exceeds the cap.
 
     The paper's Fig. 10a-f plots stop around 1000 ms; the sweep keeps the
     first point past the cap so the cap crossing can be interpolated.
+
+    ``jobs`` fans the (independent, deterministic) points across worker
+    processes; ``use_cache`` reuses on-disk results keyed by scenario +
+    code fingerprint.  Both produce output byte-identical to the plain
+    serial sweep.  Runs that carry an observability layer stay serial —
+    collectors are process-local.
     """
+    observability = kwargs.get("observability")
+    if (jobs > 1 or use_cache) and observability is None:
+        from repro.harness.parallel import ResultCache, SweepExecutor
+
+        task = {"protocol": protocol, "f": f, **kwargs}
+        task.pop("observability", None)
+        cache = ResultCache(cache_dir) if use_cache else None
+        with SweepExecutor(jobs=jobs, cache=cache) as executor:
+            return executor.run_curve(task, client_counts, latency_cap)
+    if jobs > 1 and observability is not None:
+        warnings.warn(
+            "observability collectors are process-local; running the sweep serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     results: list[RunResult] = []
     for clients in client_counts:
         point = _load_point(protocol, f, clients, **kwargs)
@@ -212,12 +272,42 @@ def _peak_throughput(
     f: int,
     client_counts: list[int] | None = None,
     latency_cap: float = LATENCY_CAP,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    strategy: str = "sweep",
     **kwargs,
 ) -> tuple[float, list[RunResult]]:
-    """Peak throughput (Fig. 10g/10h methodology) plus the raw curve."""
+    """Peak throughput (Fig. 10g/10h methodology) plus the raw curve.
+
+    ``strategy="sweep"`` walks the client grid linearly (the default, and
+    the paper's methodology); ``strategy="bisect"`` binary-searches the
+    grid for the latency-cap crossing — closed-loop latency is monotone
+    in the client population — evaluating ``jobs`` probes per round.
+    """
+    if strategy not in ("sweep", "bisect"):
+        raise ConfigError(f"strategy must be 'sweep' or 'bisect', got {strategy!r}")
     if client_counts is None:
         client_counts = default_client_sweep(f)
-    curve = _throughput_latency_curve(protocol, f, client_counts, latency_cap, **kwargs)
+    if strategy == "bisect":
+        from repro.harness.parallel import ResultCache, SweepExecutor, bisect_peak
+
+        task = {"protocol": protocol, "f": f, **kwargs}
+        task.pop("observability", None)
+        cache = ResultCache(cache_dir) if use_cache else None
+        with SweepExecutor(jobs=jobs, cache=cache) as executor:
+            curve = bisect_peak(executor, task, client_counts, latency_cap)
+        return peak_at_latency_cap(curve, latency_cap), curve
+    curve = _throughput_latency_curve(
+        protocol,
+        f,
+        client_counts,
+        latency_cap,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        **kwargs,
+    )
     return peak_at_latency_cap(curve, latency_cap), curve
 
 

@@ -37,6 +37,19 @@ def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
     every commit (shared by the open- and closed-loop generators)."""
     hub_id = pool.hub_id
     reply_size = pool.reply_size
+    # Blocks travel by reference in the DES, so every replica commits the
+    # *same* Block object; memoize its op-key tuple on the pool so the
+    # n-replica fan-in builds it once instead of n times per block.
+    if not hasattr(pool, "_op_keys_memo"):
+        pool._op_keys_memo = (None, ())
+
+    def op_keys_of(block: Block) -> tuple:
+        memo_block, memo_keys = pool._op_keys_memo
+        if memo_block is block:
+            return memo_keys
+        keys = tuple(op._key for op in block.operations)
+        pool._op_keys_memo = (block, keys)
+        return keys
 
     def on_commit(block: Block, when: float) -> None:
         if not block.operations:
@@ -44,7 +57,7 @@ def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
         batch = ReplyBatch(
             replica=replica.id,
             block_digest=block.digest,
-            op_keys=tuple(op.key() for op in block.operations),
+            op_keys=op_keys_of(block),
             num_ops=block.num_ops,
             reply_size=reply_size,
         )
@@ -99,7 +112,8 @@ class OpenLoopClients:
         self.latency = LatencyRecorder(window_start=warmup)
         self.throughput = ThroughputMeter(window_start=warmup)
         self._submit_time: dict[tuple[int, int], float] = {}
-        self._acks: dict[tuple[int, int], set[int]] = {}
+        #: Replica-id bitmask per outstanding op (cheaper than a set).
+        self._acks: dict[tuple[int, int], int] = {}
         self._next_seq = 0
         self._carry = 0.0
         self._payload = b"x" * self.request_size
@@ -129,7 +143,7 @@ class OpenLoopClients:
                 weight=self.token_weight,
             )
             # Spread the arrival inside the tick (Poisson-ish spacing).
-            self._submit_time[op.key()] = sim.now + sim.rng.uniform(0.0, self.tick)
+            self._submit_time[op._key] = sim.now + sim.rng.uniform(0.0, self.tick)
             ops.append(op)
             self.generated_ops += self.token_weight
         if ops:
@@ -145,19 +159,24 @@ class OpenLoopClients:
         if not isinstance(payload, ReplyBatch):
             return
         now = self.cluster.sim.now
+        replica_bit = 1 << payload.replica
+        need = self.f + 1
+        weight = self.token_weight
+        submit_time = self._submit_time
+        acks = self._acks
         for key in payload.op_keys:
-            submitted = self._submit_time.get(key)
+            submitted = submit_time.get(key)
             if submitted is None:
                 continue
-            acks = self._acks.setdefault(key, set())
-            acks.add(payload.replica)
-            if len(acks) < self.f + 1:
+            mask = acks.get(key, 0) | replica_bit
+            if mask.bit_count() < need:
+                acks[key] = mask
                 continue
-            del self._submit_time[key]
-            del self._acks[key]
-            self.acknowledged_ops += self.token_weight
-            self.latency.record(now, now - submitted, weight=self.token_weight)
-            self.throughput.record(now, self.token_weight)
+            del submit_time[key]
+            acks.pop(key, None)
+            self.acknowledged_ops += weight
+            self.latency.record(now, now - submitted, weight=weight)
+            self.throughput.record(now, weight)
 
     @property
     def completed_ops(self) -> int:
@@ -211,7 +230,8 @@ class ClosedLoopClients:
         self.latency = LatencyRecorder(window_start=warmup)
         self.throughput = ThroughputMeter(window_start=warmup)
         self._submit_time: dict[tuple[int, int], float] = {}
-        self._acks: dict[tuple[int, int], set[int]] = {}
+        #: Replica-id bitmask per outstanding op (cheaper than a set).
+        self._acks: dict[tuple[int, int], int] = {}
         self._next_seq: dict[int, int] = {}
         self._payload = b"x" * self.request_size
 
@@ -234,7 +254,7 @@ class ClosedLoopClients:
         op = Operation(
             client_id=token, sequence=seq, payload=self._payload, weight=self.token_weight
         )
-        self._submit_time[op.key()] = self.cluster.sim.now
+        self._submit_time[op._key] = self.cluster.sim.now
         return op
 
     def _submit(self, ops: list[Operation]) -> None:
@@ -254,20 +274,28 @@ class ClosedLoopClients:
         if not isinstance(payload, ReplyBatch):
             return
         now = self.cluster.sim.now
+        replica_bit = 1 << payload.replica
+        need = self.f + 1
+        weight = self.token_weight
+        submit_time = self._submit_time
+        acks = self._acks
+        record_latency = self.latency.record
+        record_throughput = self.throughput.record
+        new_op = self._new_op
         fresh: list[Operation] = []
         for key in payload.op_keys:
-            submitted = self._submit_time.get(key)
+            submitted = submit_time.get(key)
             if submitted is None:
                 continue  # already acknowledged and recycled
-            acks = self._acks.setdefault(key, set())
-            acks.add(payload.replica)
-            if len(acks) < self.f + 1:
+            mask = acks.get(key, 0) | replica_bit
+            if mask.bit_count() < need:
+                acks[key] = mask
                 continue
-            del self._submit_time[key]
-            del self._acks[key]
-            self.latency.record(now, now - submitted, weight=self.token_weight)
-            self.throughput.record(now, self.token_weight)
-            fresh.append(self._new_op(key[0]))
+            del submit_time[key]
+            acks.pop(key, None)
+            record_latency(now, now - submitted, weight=weight)
+            record_throughput(now, weight)
+            fresh.append(new_op(key[0]))
         self._submit(fresh)
 
     # ------------------------------------------------------------ readouts

@@ -14,11 +14,18 @@ bound as ``n`` grows, visible in Figure 10g.
 
 The network also keeps running totals of messages and bytes per (src, dst)
 pair, which the complexity benchmarks (Table I) read back.
+
+``send`` is the hottest function in the simulator after the event loop
+itself, so its state is collapsed: each directed link's flags, shaper
+horizon and FIFO floor live in one :class:`LinkState` record (one dict
+lookup instead of four), and the network profile's constants are hoisted
+to attributes at construction time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable
 
 from repro.common.config import NetworkProfile
@@ -30,27 +37,52 @@ from repro.network.transport import DeliveryHandler, Transport
 LOOPBACK_DELAY = 20e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkState:
-    """Mutable state of one directed link."""
+    """Mutable state of one directed link.
+
+    Besides the administrative flags, the record carries the two
+    per-link scheduling horizons the bandwidth model updates on every
+    send: when the link's shaper frees up and the FIFO arrival floor.
+    """
 
     up: bool = True
     extra_latency: float = 0.0
+    #: Absolute time the per-link shaper finishes its current backlog.
+    free_at: float = 0.0
+    #: Latest arrival handed to this link (TCP-like FIFO delivery floor).
+    last_arrival: float = 0.0
 
 
 @dataclass
 class TrafficStats:
-    """Aggregate counters the benchmarks read."""
+    """Aggregate counters the benchmarks read.
+
+    ``per_pair`` counts messages per directed (src, dst) pair and
+    ``per_pair_bytes`` the wire bytes, so Table I can report both message
+    and byte/authenticator complexity per link.
+    """
 
     messages: int = 0
     bytes: int = 0
     dropped: int = 0
-    per_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+    per_pair: dict[tuple[int, int], int] = None  # type: ignore[assignment]
+    per_pair_bytes: dict[tuple[int, int], int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.per_pair is None:
+            self.per_pair = {}
+        if self.per_pair_bytes is None:
+            self.per_pair_bytes = {}
 
     def record(self, src: int, dst: int, size: int) -> None:
         self.messages += 1
         self.bytes += size
-        self.per_pair[(src, dst)] = self.per_pair.get((src, dst), 0) + 1
+        pair = (src, dst)
+        per_pair = self.per_pair
+        per_pair[pair] = per_pair.get(pair, 0) + 1
+        per_bytes = self.per_pair_bytes
+        per_bytes[pair] = per_bytes.get(pair, 0) + size
 
 
 class SimNetwork(Transport):
@@ -73,12 +105,17 @@ class SimNetwork(Transport):
         self._handlers: dict[int, DeliveryHandler] = {}
         self._links: dict[tuple[int, int], LinkState] = {}
         self._nic_free_at: dict[int, float] = {}
-        self._link_free_at: dict[tuple[int, int], float] = {}
-        self._last_arrival: dict[tuple[int, int], float] = {}
         self._unshaped: set[int] = set()
         self._taps: list[Callable[[Envelope], None]] = []
         self._stats = TrafficStats()
         self._recording = True
+        # Hoisted profile constants: attribute loads beat dataclass
+        # property/method calls on the per-send hot path.
+        self._latency = profile.one_way_latency
+        self._jitter = profile.jitter
+        self._loss_rate = profile.loss_rate
+        self._nic_bps = profile.nic_bps
+        self._bandwidth_bps = profile.bandwidth_bps
 
     @property
     def stats(self) -> TrafficStats:
@@ -138,53 +175,59 @@ class SimNetwork(Transport):
     def send(self, src: int, dst: int, payload: Any) -> None:
         if dst not in self._handlers:
             raise UnknownPeer(f"no endpoint registered for id {dst}")
+        sim = self._sim
+        now = sim.now
         size = self._sizer.size_of(payload)
         if self._recording:
             self._stats.record(src, dst, size)
         if self._metrics is not None:
             self._metrics.sent(src, size)
         if src == dst:
-            envelope = Envelope(src=src, dst=dst, payload=payload, size=size, sent_at=self._sim.now)
-            self._sim.schedule(LOOPBACK_DELAY, lambda: self._deliver(envelope), label="loopback")
+            envelope = Envelope(src, dst, payload, size, now)
+            sim.schedule(LOOPBACK_DELAY, partial(self._deliver, envelope), "loopback")
             return
-        state = self.link(src, dst)
+        key = (src, dst)
+        state = self._links.get(key)
+        if state is None:
+            state = LinkState()
+            self._links[key] = state
         if not state.up:
             if self._recording:
                 self._stats.dropped += 1
             if self._metrics is not None:
                 self._metrics.dropped(src)
             return
-        rng = self._sim.rng
-        if self._profile.loss_rate > 0.0 and rng.random() < self._profile.loss_rate:
+        rng = sim.rng
+        if self._loss_rate > 0.0 and rng.random() < self._loss_rate:
             if self._recording:
                 self._stats.dropped += 1
             if self._metrics is not None:
                 self._metrics.dropped(src)
             return
         if src in self._unshaped:
-            link_done = self._sim.now
+            link_done = now
         else:
             # Stage 1: the sender's NIC, shared across all destinations.
-            nic_start = max(self._nic_free_at.get(src, 0.0), self._sim.now)
-            nic_done = nic_start + self._profile.nic_delay(size)
+            nic_free = self._nic_free_at.get(src, 0.0)
+            nic_start = nic_free if nic_free > now else now
+            nic_done = nic_start + size * 8.0 / self._nic_bps
             self._nic_free_at[src] = nic_done
             # Stage 2: the per-link shaper (the testbed's 200 Mbps cap).
-            link_key = (src, dst)
-            link_start = max(self._link_free_at.get(link_key, 0.0), nic_done)
-            link_done = link_start + self._profile.transmission_delay(size)
-            self._link_free_at[link_key] = link_done
-        latency = self._profile.one_way_latency + state.extra_latency
-        if self._profile.jitter > 0.0:
-            latency += rng.uniform(0.0, self._profile.jitter)
+            link_start = state.free_at if state.free_at > nic_done else nic_done
+            link_done = link_start + size * 8.0 / self._bandwidth_bps
+            state.free_at = link_done
+        latency = self._latency + state.extra_latency
+        if self._jitter > 0.0:
+            latency += rng.uniform(0.0, self._jitter)
         arrival = link_done + latency
         # Links are TCP-like: delivery is FIFO per (src, dst) even when
         # jitter would let a small message overtake a large one's tail.
-        link_key = (src, dst)
-        floor = self._last_arrival.get(link_key, 0.0)
-        arrival = max(arrival, floor + 1e-9)
-        self._last_arrival[link_key] = arrival
-        envelope = Envelope(src=src, dst=dst, payload=payload, size=size, sent_at=self._sim.now)
-        self._sim.schedule_at(arrival, lambda: self._deliver(envelope), label=f"net:{src}->{dst}")
+        floor = state.last_arrival + 1e-9
+        if arrival < floor:
+            arrival = floor
+        state.last_arrival = arrival
+        envelope = Envelope(src, dst, payload, size, now)
+        sim.schedule(arrival - now, partial(self._deliver, envelope), "net")
 
     def add_tap(self, tap: "Callable[[Envelope], None]") -> None:
         """Observe every delivered envelope (complexity accounting)."""
@@ -193,8 +236,9 @@ class SimNetwork(Transport):
     def _deliver(self, envelope: Envelope) -> None:
         if self._metrics is not None:
             self._metrics.received(envelope.dst, envelope.size)
-        for tap in self._taps:
-            tap(envelope)
+        if self._taps:
+            for tap in self._taps:
+                tap(envelope)
         handler = self._handlers.get(envelope.dst)
         if handler is not None:
             handler(envelope.src, envelope.payload)

@@ -178,6 +178,76 @@ class TestAccounting:
         assert net.stats.bytes > 0
         assert net.stats.per_pair[(0, 1)] == 2
 
+    def test_stats_per_pair_bytes(self):
+        sim = Simulator()
+        net = make_net(sim)
+        net.register(0, lambda s, p: None)
+        net.register(1, lambda s, p: None)
+        net.send(0, 1, "a")
+        net.send(0, 1, "b")
+        net.send(1, 0, "c")
+        # Byte counters mirror the message counters per directed link and
+        # sum to the aggregate.
+        assert set(net.stats.per_pair_bytes) == set(net.stats.per_pair)
+        assert net.stats.per_pair_bytes[(0, 1)] > net.stats.per_pair_bytes[(1, 0)]
+        assert sum(net.stats.per_pair_bytes.values()) == net.stats.bytes
+
+    def test_sizer_fallback_counted_and_warned_once(self, caplog):
+        import logging
+
+        from repro.network.message import WireSizer
+
+        class Mystery:
+            pass
+
+        sizer = WireSizer()
+        with caplog.at_level(logging.WARNING, logger="repro.network.sizer"):
+            for _ in range(3):
+                sizer.size_of(Mystery())  # fresh object defeats the memo
+        assert sizer.fallback_count == 3
+        assert sizer.fallback_types == {"Mystery": 3}
+        warnings_seen = [r for r in caplog.records if "Mystery" in r.getMessage()]
+        assert len(warnings_seen) == 1  # warned once per type, not per payload
+
+    def test_sizer_fallback_counter_binding(self):
+        from repro.network.message import WireSizer
+
+        class Counter:
+            value = 0
+
+            def inc(self) -> None:
+                self.value += 1
+
+        class Mystery:
+            pass
+
+        sizer = WireSizer()
+        counter = Counter()
+        sizer.bind_fallback_counter(counter)
+        sizer.size_of(Mystery())
+        sizer.size_of(Mystery())
+        assert counter.value == 2
+
+    def test_cluster_binds_sizer_fallback_counter(self):
+        from repro.common.config import ClusterConfig, ExperimentConfig
+        from repro.harness.des_runtime import DESCluster
+        from repro.obs.observer import RunObservability
+
+        obs = RunObservability(trace=False)
+        cluster = DESCluster(
+            ExperimentConfig(cluster=ClusterConfig.for_f(1), seed=1),
+            protocol="marlin",
+            crypto_mode="null",
+            observability=obs,
+        )
+        assert cluster.network._sizer._fallback_counter is not None
+
+        class Mystery:
+            pass
+
+        cluster.network._sizer.size_of(Mystery())
+        assert cluster.network._sizer._fallback_counter.value == 1
+
     def test_recording_toggle(self):
         sim = Simulator()
         net = make_net(sim)

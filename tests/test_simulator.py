@@ -108,6 +108,34 @@ class TestSimulator:
         assert sim.step()
         assert not sim.step()
 
+    @staticmethod
+    def _inject_stale_event(sim: Simulator, time: float) -> None:
+        # Corrupt the queue the way a scheduling bug would: an entry
+        # behind the clock (schedule() itself refuses to create one).
+        from heapq import heappush
+
+        from repro.des.simulator import Event
+
+        event = Event(time, sim._seq, lambda: None)
+        heappush(sim._queue, (time, event.seq, event))
+
+    def test_step_rejects_backwards_event(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.now == 2.0
+        self._inject_stale_event(sim, 1.0)
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_run_rejects_backwards_event(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        self._inject_stale_event(sim, 1.0)
+        with pytest.raises(SimulationError):
+            sim.run()
+
 
 class TestTimers:
     def test_timer_fires(self):
