@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: real protocol clients must agree with the hub model.
+
+The throughput figures drive load through an aggregate "hub" population
+(one generator submitting batches on the clients' behalf).  The client
+subsystem (:mod:`repro.client`) replaces that with genuine protocol
+clients — sessions, retransmit timers, reply certificates — over the
+same simulated network.  The two models measure the same system, so
+they must agree; this benchmark is the gate that keeps them honest.
+
+Two deterministic DES load points (light and saturated), each run under
+both client models.  The process exits non-zero if, at either point:
+
+* real-mode throughput disagrees with the hub model by more than 5%
+  (the subsystem's acceptance bar), or
+* real-mode **certified** latency — request send to f+1 matching
+  replies, the full end-to-end client path — exceeds hub latency by
+  more than 10%, or
+* a failure-free run needed retransmits or tallied mismatched replies
+  (both mean the client path itself is broken).
+
+Run:  python benchmarks/bench_client_path.py          (~40 s)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import ClientConfig, Scenario, load_point
+from repro.harness.report import format_table, ktx, ms
+
+PROTOCOL = "marlin"
+LOAD_POINTS = (32, 256)
+SIM_TIME = 12.0
+WARMUP = 4.0
+
+THROUGHPUT_TOLERANCE = 0.05
+LATENCY_TOLERANCE = 0.10
+
+
+def run_pair(clients: int) -> tuple:
+    """One load point under the hub model and under real clients."""
+    hub = load_point(
+        Scenario(
+            protocol=PROTOCOL, f=1, clients=clients,
+            sim_time=SIM_TIME, warmup=WARMUP,
+        )
+    )
+    real = load_point(
+        Scenario(
+            protocol=PROTOCOL, f=1, clients=clients,
+            sim_time=SIM_TIME, warmup=WARMUP,
+            client=ClientConfig(mode="real"),
+        )
+    )
+    return hub, real
+
+
+def client_path_counters(clients: int) -> dict:
+    """Re-run the real-mode point keeping the pool, for its counters."""
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.scenarios import _experiment
+    from repro.harness.workload import ClosedLoopClients
+
+    experiment = _experiment(1, seed=1, base_timeout=120.0, max_timeout=240.0)
+    cluster = DESCluster(experiment, protocol=PROTOCOL, crypto_mode="null")
+    pool = ClosedLoopClients(
+        cluster, num_clients=clients, token_weight=1, target="leader",
+        warmup=WARMUP, mode="real", client_config=ClientConfig(mode="real"),
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    cluster.run(until=SIM_TIME)
+    cluster.assert_safety()
+    return {
+        "certified": pool.certified,
+        "retransmits": pool.retransmits,
+        "mismatches": pool.reply_mismatches,
+        "replays": pool.replays,
+    }
+
+
+def main() -> int:
+    failures = []
+    rows = []
+    for clients in LOAD_POINTS:
+        hub, real = run_pair(clients)
+        tput_gap = abs(real.throughput_tps / hub.throughput_tps - 1)
+        lat_gap = real.mean_latency / hub.mean_latency - 1
+        rows.append([
+            str(clients),
+            ktx(hub.throughput_tps), ktx(real.throughput_tps), f"{tput_gap * 100:+.1f}%",
+            ms(hub.mean_latency), ms(real.mean_latency), f"{lat_gap * 100:+.1f}%",
+        ])
+        if tput_gap > THROUGHPUT_TOLERANCE:
+            failures.append(
+                f"{clients} clients: real-mode throughput {real.throughput_tps:.0f} tps "
+                f"is {tput_gap * 100:.1f}% off the hub model's {hub.throughput_tps:.0f} tps "
+                f"(tolerance {THROUGHPUT_TOLERANCE * 100:.0f}%)"
+            )
+        if lat_gap > LATENCY_TOLERANCE:
+            failures.append(
+                f"{clients} clients: certified latency {real.mean_latency * 1000:.1f} ms "
+                f"exceeds hub latency {hub.mean_latency * 1000:.1f} ms "
+                f"by more than {LATENCY_TOLERANCE * 100:.0f}%"
+            )
+    print(
+        format_table(
+            f"hub model vs real clients ({PROTOCOL}, f=1)",
+            ["clients", "hub ktx/s", "real ktx/s", "gap",
+             "hub lat", "real lat", "gap"],
+            rows,
+        )
+    )
+
+    counters = client_path_counters(LOAD_POINTS[0])
+    print(
+        f"\nclient path at {LOAD_POINTS[0]} clients: "
+        f"{counters['certified']} certified, "
+        f"{counters['retransmits']} retransmits, "
+        f"{counters['mismatches']} reply mismatches, "
+        f"{counters['replays']} replays"
+    )
+    if counters["retransmits"]:
+        failures.append(
+            f"failure-free run needed {counters['retransmits']} retransmits"
+        )
+    if counters["mismatches"]:
+        failures.append(
+            f"failure-free run tallied {counters['mismatches']} mismatched replies"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: real clients agree with the hub model and certify cleanly")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.client import ClientConfig, ClientSession, ReplyCertificate
 from repro.common.config import (
     ClusterConfig,
     ExperimentConfig,
@@ -54,20 +55,24 @@ from repro.harness.scenarios import (
 from repro.harness.parallel import ResultCache, SweepExecutor, code_fingerprint
 from repro.harness.workload import ClosedLoopClients
 from repro.obs.observer import RunObservability
-from repro.runtime.cluster import LocalCluster
+from repro.runtime.cluster import LocalClient, LocalCluster
 
 __all__ = [
+    "ClientConfig",
+    "ClientSession",
     "ClosedLoopClients",
     "ClusterConfig",
     "DEFAULT_MAX_BATCH",
     "DESCluster",
     "ExperimentConfig",
     "LATENCY_CAP",
+    "LocalClient",
     "LocalCluster",
     "MachineProfile",
     "NetworkProfile",
     "NormalCaseCost",
     "PipelineConfig",
+    "ReplyCertificate",
     "ResultCache",
     "RunObservability",
     "RunResult",
@@ -119,6 +124,12 @@ class Scenario:
     #: Batching/pipelining knobs; None reproduces the unbatched seed
     #: behaviour exactly.
     pipeline: PipelineConfig | None = field(default=None)
+    #: Client subsystem knobs; None (or ``mode="hub"``) reproduces the
+    #: aggregate hub-client load model of the paper's evaluation, while
+    #: ``ClientConfig(mode="real")`` drives the same population through
+    #: genuine protocol clients (sessions, retransmits, reply
+    #: certificates) over the simulated network.
+    client: "ClientConfig | None" = field(default=None)
 
 
 def load_point(scenario: Scenario, *, observability: RunObservability | None = None) -> RunResult:
@@ -135,6 +146,7 @@ def load_point(scenario: Scenario, *, observability: RunObservability | None = N
         observability=observability,
         pipeline=scenario.pipeline,
         crypto=scenario.crypto,
+        client=scenario.client,
     )
 
 
@@ -201,6 +213,7 @@ def throughput_curve(
         seed=scenario.seed,
         pipeline=scenario.pipeline,
         crypto=scenario.crypto,
+        client=scenario.client,
     )
 
 
@@ -237,4 +250,5 @@ def peak_throughput(
         seed=scenario.seed,
         pipeline=scenario.pipeline,
         crypto=scenario.crypto,
+        client=scenario.client,
     )

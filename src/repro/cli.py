@@ -11,6 +11,7 @@ Usage (installed, or ``python -m repro``):
     python -m repro fuzz       --seed 7 --protocol chained-marlin
     python -m repro trace      --protocol marlin --n 4 --out trace.json
     python -m repro metrics    --protocol marlin --f 1 --json metrics.json
+    python -m repro client     --protocol marlin --clients 64 --reads leader-lease
 
 Every command prints a small report; exit code 0 means the run completed
 and passed the safety audit.  ``--log-level debug`` surfaces the
@@ -258,6 +259,59 @@ def _cmd_metrics(args: argparse.Namespace) -> None:
         log.info("wrote %s", args.prom)
 
 
+def _cmd_client(args: argparse.Namespace) -> None:
+    from repro.api import ClientConfig
+    from repro.harness.des_runtime import DESCluster
+    from repro.harness.scenarios import _experiment
+    from repro.harness.workload import ClosedLoopClients
+
+    config = ClientConfig(
+        mode="real",
+        reads=args.reads,
+        retry_timeout=args.retry_timeout,
+        max_inflight=args.max_inflight,
+    )
+    base_timeout = 2.0 if args.crash_leader_at is not None else 120.0
+    experiment = _experiment(
+        args.f, seed=args.seed, base_timeout=base_timeout, max_timeout=240.0
+    )
+    cluster = DESCluster(experiment, protocol=args.protocol, crypto_mode="null")
+    pool = ClosedLoopClients(
+        cluster,
+        num_clients=args.clients,
+        token_weight=1,
+        target="leader",
+        warmup=args.warmup,
+        mode="real",
+        client_config=config,
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    if args.crash_leader_at is not None:
+        cluster.crash_at(0, args.crash_leader_at)  # replica 0 leads view 1
+    cluster.run(until=args.sim_time)
+    cluster.assert_safety()
+    summary = pool.summary()
+    duration = args.sim_time - args.warmup
+    print(
+        f"{args.protocol} f={args.f}: {args.clients} protocol clients, "
+        f"reads={args.reads}"
+        + (f", leader crashed at {args.crash_leader_at:.1f}s" if args.crash_leader_at else "")
+    )
+    rows = [
+        ["throughput", f"{pool.throughput.throughput(duration=duration):.1f} tx/s"],
+        ["mean latency", f"{ms(summary['mean_latency'])} ms"],
+        ["p99 latency", f"{ms(summary['p99_latency'])} ms"],
+        ["certified", str(pool.certified)],
+        ["retransmits", str(pool.retransmits)],
+        ["replays (dedup)", str(pool.replays)],
+        ["shed (admission)", str(pool.shed)],
+        ["reply mismatches", str(pool.reply_mismatches)],
+        ["blocks committed", str(max(r.stats["blocks_committed"] for r in cluster.replicas))],
+    ]
+    print(format_table("client path", ["metric", "value"], rows))
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> None:
     from repro.harness.failures import fuzz_schedule
 
@@ -394,6 +448,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="write the metrics snapshot to JSON")
     p.add_argument("--prom", default=None, help="write Prometheus text exposition")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "client", help="drive real protocol clients (sessions + reply certificates)"
+    )
+    common(p)
+    p.set_defaults(sim_time=12.0)
+    p.add_argument("--clients", type=int, default=64)
+    p.add_argument("--warmup", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--reads", choices=("commit", "leader-lease"), default="commit",
+        help="read path: through consensus, or leader-served after a quorum check",
+    )
+    p.add_argument(
+        "--retry-timeout", type=float, default=2.0,
+        help="client reply timeout before the first retransmit-to-all",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="per-replica admission window (weighted ops); omit to disable shedding",
+    )
+    p.add_argument(
+        "--crash-leader-at", type=float, default=None,
+        help="crash the view-1 leader at this time to exercise client redirection",
+    )
+    p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("fuzz", help="one randomly-adversarial schedule")
     common(p)

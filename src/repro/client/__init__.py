@@ -1,0 +1,53 @@
+"""repro.client — the client/service subsystem.
+
+The paper's evaluation (Section VI) drives the cluster with a population
+of clients that each wait for ``f + 1`` matching replies.  This package
+implements that contract as a real protocol rather than a harness
+abstraction, following the client rules HotStuff states explicitly:
+submit to the believed leader, accept a result once ``f + 1`` replicas
+report the same outcome, and retransmit to *all* replicas on timeout.
+
+Client side:
+
+* :class:`ClientSession` — per-client monotonically increasing request
+  ids, canonical-encoded commands, retransmit-to-all with exponential
+  backoff + jitter, and an opt-in linearizable read path;
+* :class:`ReplyCollector` — forms a :class:`ReplyCertificate` from
+  ``f + 1`` matching ``(seq, result_digest)`` replies and rejects
+  mismatched (possibly forged) results;
+* :class:`LeaderTracker` — learns the current view from replies and
+  routes submissions to the believed leader, falling back to broadcast.
+
+Replica side:
+
+* :class:`SessionTable` — exactly-once deduplication: an already
+  committed ``(client, seq)`` is answered from the cached reply and is
+  never re-executed;
+* :class:`ClientService` — glue bolted onto a
+  :class:`~repro.consensus.replica_base.ReplicaBase`: request intake
+  with a bounded inflight window (shed-and-retry backpressure), reply
+  emission with per-request result digests, and the quorum-checked
+  leader read path.
+
+Runtime adapters (:mod:`repro.client.runtime`) bind sessions to the DES
+and to asyncio; :class:`ClientConfig` carries every knob.
+"""
+
+from repro.client.collector import ReplyCertificate, ReplyCollector
+from repro.client.config import ClientConfig
+from repro.client.service import ClientService, SessionTable, attach_client_services
+from repro.client.session import ClientSession, make_command, result_digest_of
+from repro.client.tracker import LeaderTracker
+
+__all__ = [
+    "ClientConfig",
+    "ClientService",
+    "ClientSession",
+    "LeaderTracker",
+    "ReplyCertificate",
+    "ReplyCollector",
+    "SessionTable",
+    "attach_client_services",
+    "make_command",
+    "result_digest_of",
+]

@@ -1,0 +1,161 @@
+"""Runtime bindings for :class:`~repro.client.session.ClientSession`.
+
+The session itself is sans-io; this module supplies the two contexts
+that put it on a wire:
+
+* :class:`DESClientEndpoint` — one simulated client machine.  Its
+  endpoint id *is* its client id (client ids start at
+  ``num_replicas``, so they never collide with replica endpoints),
+  which lets replicas address replies simply as ``send(op.client_id,
+  reply)``.  Client egress is unshaped, like the workload hub: a client
+  token stands for many physical machines, so it must not serialise
+  behind one simulated NIC.
+* :class:`LocalClient` — the same session over a live asyncio transport
+  (:class:`~repro.network.asyncio_net.AsyncioNetwork` or TCP), with
+  awaitable submit/read helpers for tests, examples and the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable
+
+from repro.client.config import ClientConfig
+from repro.client.session import ClientSession
+from repro.consensus.context import NodeContext
+from repro.des.timers import TimerWheel
+
+
+class DESClientContext(NodeContext):
+    """NodeContext for one simulated client endpoint (unshaped egress)."""
+
+    def __init__(self, sim: Any, network: Any, endpoint: int, num_replicas: int) -> None:
+        self._sim = sim
+        self._network = network
+        self._endpoint = endpoint
+        self._n = num_replicas
+        self._timers = TimerWheel(sim)
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def send(self, dst: int, payload: Any) -> None:
+        self._network.send(self._endpoint, dst, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        for dst in range(self._n):
+            self._network.send(self._endpoint, dst, payload)
+
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
+        self._timers.set(name, delay, callback)
+
+    def cancel_timer(self, name: str) -> None:
+        self._timers.cancel(name)
+
+    def charge(self, seconds: float) -> None:
+        """Clients model many machines; no CPU accounting."""
+
+
+class DESClientEndpoint:
+    """One protocol client wired into a :class:`DESCluster`."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        client_id: int,
+        config: ClientConfig | None = None,
+        *,
+        weight: int = 1,
+        on_result: Callable[[int, Any, float], None] | None = None,
+    ) -> None:
+        num_replicas = cluster.experiment.cluster.num_replicas
+        if client_id < num_replicas:
+            raise ValueError(
+                f"client ids start at {num_replicas} (replica ids are below)"
+            )
+        self.client_id = client_id
+        self.ctx = DESClientContext(
+            cluster.sim, cluster.network, client_id, num_replicas
+        )
+        self.session = ClientSession(
+            client_id,
+            self.ctx,
+            config or ClientConfig(mode="real"),
+            num_replicas,
+            cluster.experiment.cluster.f,
+            weight=weight,
+            on_result=on_result,
+            rng=random.Random(cluster.experiment.seed * 1_000_003 + client_id),
+        )
+        cluster.network.register(client_id, self.session.on_message)
+        cluster.network.set_unshaped(client_id)
+
+
+class LocalClient:
+    """An asyncio protocol client for a :class:`LocalCluster`.
+
+    Registers itself on the cluster transport and exposes awaitable
+    submit/read calls: ``await client.submit(op)`` resolves with the
+    reply certificate once ``f + 1`` matching replies arrived, ``await
+    client.read(key)`` with the (certified or lease-served) value.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        client_id: int = 10_000,
+        config: ClientConfig | None = None,
+    ) -> None:
+        from repro.runtime.node import AsyncioContext
+
+        num_replicas = cluster.config.num_replicas
+        if client_id < num_replicas:
+            raise ValueError(
+                f"client ids start at {num_replicas} (replica ids are below)"
+            )
+        self.client_id = client_id
+        self.ctx = AsyncioContext(cluster.network, client_id, num_replicas)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self.session = ClientSession(
+            client_id,
+            self.ctx,
+            config or ClientConfig(mode="real"),
+            num_replicas,
+            cluster.config.f,
+            on_result=self._on_result,
+        )
+        cluster.network.register(client_id, self.session.on_message)
+
+    def _on_result(self, sequence: int, outcome: Any, latency: float) -> None:
+        future = self._waiters.pop(sequence, None)
+        if future is not None and not future.done():
+            future.set_result((outcome, latency))
+
+    async def submit(self, op: bytes, timeout: float = 30.0) -> Any:
+        """Submit a write; returns its ReplyCertificate."""
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        sequence = self.session.submit(op)
+        self._waiters[sequence] = future
+        outcome, _ = await asyncio.wait_for(future, timeout)
+        return outcome
+
+    async def read(self, key: bytes, timeout: float = 30.0) -> Any:
+        """Read a key via the configured read path; returns the outcome.
+
+        ``reads="commit"`` resolves with the ReplyCertificate of the
+        ordered ``get``; ``reads="leader-lease"`` with the value bytes.
+        """
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        sequence = self.session.read(key)
+        self._waiters[sequence] = future
+        outcome, _ = await asyncio.wait_for(future, timeout)
+        return outcome
+
+    def close(self) -> None:
+        self.ctx.cancel_all()
+        for future in self._waiters.values():
+            if not future.done():
+                future.cancel()
+        self._waiters.clear()

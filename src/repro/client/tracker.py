@@ -1,0 +1,57 @@
+"""Leader tracking: learn the current view from replies, route to it.
+
+HotStuff clients send each command to the one replica they believe is
+the leader and only fall back to broadcasting when a reply timeout
+suggests that belief is stale.  The tracker is the client-side half of
+that: every reply (and every reply certificate) carries the replica's
+current view, the tracker keeps the maximum it has seen, and
+``target()`` maps that view onto a replica id with the same round-robin
+rule the replicas use (``leader_of``).  After a view change the first
+honest reply — typically provoked by one retransmit-to-all round — is
+enough to converge on the new leader.
+"""
+
+from __future__ import annotations
+
+
+class LeaderTracker:
+    """Believed-leader routing state for one client."""
+
+    #: Sentinel target meaning "send to every replica".
+    BROADCAST = -1
+
+    def __init__(self, num_replicas: int, initial_view: int = 1) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.num_replicas = num_replicas
+        self.view = initial_view
+        #: Consecutive reply timeouts since the last successful reply;
+        #: any timeout demotes routing to broadcast until trust returns.
+        self.strikes = 0
+
+    def observe(self, view: int) -> bool:
+        """Fold in a view reported by a reply; True if the view advanced."""
+        if view <= self.view:
+            return False
+        self.view = view
+        self.strikes = 0
+        return True
+
+    def on_certified(self, view: int) -> None:
+        """A certificate formed at ``view`` — the believed leader works."""
+        self.observe(view)
+        self.strikes = 0
+
+    def on_timeout(self) -> None:
+        """A reply timeout — stop trusting the believed leader."""
+        self.strikes += 1
+
+    def leader_of(self, view: int) -> int:
+        """Round-robin view→leader map, identical to the replicas'."""
+        return (view - 1) % self.num_replicas
+
+    def target(self) -> int:
+        """Replica to submit to: the believed leader, or BROADCAST."""
+        if self.strikes > 0:
+            return self.BROADCAST
+        return self.leader_of(self.view)

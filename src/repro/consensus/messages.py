@@ -281,15 +281,22 @@ class StateTransferResponse:
 
 @dataclass(frozen=True)
 class ClientRequest:
-    """A client operation on its way to the leader."""
+    """A client operation on its way to the leader.
+
+    ``weight`` mirrors :class:`~repro.consensus.block.Operation.weight`:
+    one request object can stand for ``weight`` lockstep clients (the
+    token-scaling device), and its wire size scales accordingly so the
+    bandwidth model sees the same bytes as ``weight`` individual sends.
+    """
 
     client_id: int
     sequence: int
     payload: bytes
+    weight: int = 1
 
     @property
     def wire_size(self) -> int:
-        return 16 + len(self.payload)
+        return self.weight * (16 + len(self.payload))
 
 
 @dataclass(frozen=True)
@@ -310,13 +317,27 @@ class ClientRequestBatch:
 
 @dataclass(frozen=True)
 class ReplyBatch:
-    """Aggregate replica->client replies for one committed block."""
+    """Aggregate replica->client replies for one committed block.
+
+    ``result_digests`` carries one digest per op key (empty in legacy
+    senders), and ``view`` the replica's view at commit time.  Neither
+    changes ``wire_size``: each modelled per-reply record already charges
+    24 bytes of header on top of the payload, which is where a 32-byte
+    digest travels in the real encoding — keeping the hub model's
+    benchmark curves exactly where they were.
+    """
 
     replica: int
     block_digest: bytes
     op_keys: tuple[tuple[int, int], ...]
     num_ops: int
     reply_size: int
+    result_digests: tuple[bytes, ...] = ()
+    view: int = 1
+
+    def __post_init__(self) -> None:
+        if self.result_digests and len(self.result_digests) != len(self.op_keys):
+            raise ProtocolError("need one result digest per op key")
 
     @property
     def wire_size(self) -> int:
@@ -325,13 +346,91 @@ class ReplyBatch:
 
 @dataclass(frozen=True)
 class ClientReply:
-    """A replica's reply to a committed client operation."""
+    """A replica's reply to a committed client operation.
+
+    Carries the triple the client certificate is built from —
+    ``(sequence, result_digest)`` plus the replica's current ``view`` so
+    the client's leader tracker learns about view changes from ordinary
+    replies.  ``weight``/``reply_size`` scale the wire size for token
+    clients exactly like :class:`ReplyBatch` does per op.
+    """
 
     client_id: int
     sequence: int
     replica: int
     result: bytes = b""
+    result_digest: bytes = b""
+    view: int = 1
+    weight: int = 1
+    reply_size: int = 0
 
     @property
     def wire_size(self) -> int:
-        return 24 + len(self.result)
+        per_reply = 24 + max(self.reply_size, len(self.result) + len(self.result_digest))
+        return self.weight * per_reply
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """A leader-lease read (``reads="leader-lease"``) for one key."""
+
+    client_id: int
+    sequence: int
+    key: bytes
+    weight: int = 1
+
+    @property
+    def wire_size(self) -> int:
+        return self.weight * (20 + len(self.key))
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Answer to a :class:`ReadRequest`.
+
+    ``ok=False`` is a redirect: the receiver is not (or no longer) the
+    leader; ``view`` tells the client where to look next.
+    """
+
+    client_id: int
+    sequence: int
+    replica: int
+    view: int
+    value: bytes = b""
+    ok: bool = True
+    weight: int = 1
+
+    @property
+    def wire_size(self) -> int:
+        return self.weight * (33 + len(self.value))
+
+
+@dataclass(frozen=True)
+class LeaseProbe:
+    """Leader -> replicas: "am I still the leader of ``view``?"
+
+    The quorum check behind a leader-lease read (ReadIndex style): only
+    after ``n - f`` replicas (including itself) acknowledge the view does
+    the leader serve reads from committed state.
+    """
+
+    leader: int
+    view: int
+    nonce: int
+
+    @property
+    def wire_size(self) -> int:
+        return 20
+
+
+@dataclass(frozen=True)
+class LeaseAck:
+    """Replica -> leader: "yes, ``view`` is still my current view"."""
+
+    replica: int
+    view: int
+    nonce: int
+
+    @property
+    def wire_size(self) -> int:
+        return 20

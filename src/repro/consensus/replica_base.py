@@ -29,6 +29,9 @@ from repro.consensus.ledger import Ledger
 from repro.consensus.messages import (
     ClientRequest,
     ClientRequestBatch,
+    LeaseAck,
+    LeaseProbe,
+    ReadRequest,
     SyncRequest,
     SyncResponse,
 )
@@ -101,6 +104,9 @@ class ReplicaBase(ABC):
         self.cview = 0
         self.current_timeout = config.base_timeout
         self.commit_listeners: list[CommitListener] = []
+        #: Optional :class:`repro.client.service.ClientService` — installed
+        #: by ``ClientService.install()``; None keeps the seed behaviour.
+        self.client_service: Any = None
         self._pending_commits: dict[bytes, QuorumCertificate | None] = {}
         self._sync_inflight: set[bytes] = set()
         self._sync_attempts: dict[bytes, int] = {}
@@ -208,6 +214,8 @@ class ReplicaBase(ABC):
         if self._vote_gate is not None:
             self._vote_gate.discard_view(target - 1)
         self._drop_speculation()
+        if self.client_service is not None:
+            self.client_service.on_view_change()
         self._arm_view_timer()
         self._enter_view(target)
 
@@ -243,7 +251,9 @@ class ReplicaBase(ABC):
 
     def on_client_request(self, request: ClientRequest) -> None:
         """Accept an operation; leaders enqueue, others forward."""
-        op = Operation(request.client_id, request.sequence, request.payload)
+        op = Operation(
+            request.client_id, request.sequence, request.payload, weight=request.weight
+        )
         if self.is_leader():
             if self.pool.add(op):
                 self._maybe_propose()
@@ -259,7 +269,41 @@ class ReplicaBase(ABC):
             self._maybe_propose()
 
     def _handle_client_request(self, src: int, request: ClientRequest) -> None:
+        # The client service (when installed) filters first: a committed
+        # duplicate is replayed from its cache, a full admission window
+        # sheds — either way the request never re-enters the pool.  For
+        # admitted requests the service also paces the leader's proposal
+        # (intake coalescing), so per-client sends batch like the
+        # aggregate submissions do.
+        service = self.client_service
+        if service is not None:
+            if service.intake(src, request):
+                return
+            op = Operation(
+                request.client_id, request.sequence, request.payload,
+                weight=request.weight,
+            )
+            if self.is_leader():
+                if self.pool.add(op):
+                    service.schedule_propose()
+            elif self.forward_requests:
+                self.ctx.send(self.leader_of(self.cview), request)
+            else:
+                self.pool.add(op)
+            return
         self.on_client_request(request)
+
+    def _handle_read_request(self, src: int, request: ReadRequest) -> None:
+        if self.client_service is not None:
+            self.client_service.on_read_request(src, request)
+
+    def _handle_lease_probe(self, src: int, probe: LeaseProbe) -> None:
+        if self.client_service is not None:
+            self.client_service.on_lease_probe(src, probe)
+
+    def _handle_lease_ack(self, src: int, ack: LeaseAck) -> None:
+        if self.client_service is not None:
+            self.client_service.on_lease_ack(src, ack)
 
     def _handle_request_batch(self, src: int, batch: ClientRequestBatch) -> None:
         """Aggregate intake from the DES workload generator.
@@ -398,6 +442,9 @@ class ReplicaBase(ABC):
         return {
             ClientRequest: self._handle_client_request,
             ClientRequestBatch: self._handle_request_batch,
+            ReadRequest: self._handle_read_request,
+            LeaseProbe: self._handle_lease_probe,
+            LeaseAck: self._handle_lease_ack,
             SyncRequest: self._handle_sync_request,
             SyncResponse: self._handle_sync_response,
         }

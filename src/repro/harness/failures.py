@@ -19,7 +19,10 @@ Strategies:
   the auditor must never trip);
 * :class:`Delayer` — hold every outbound message for a fixed time;
 * :class:`QCHider` — strip the justify from VIEW-CHANGE messages down to
-  the genesis QC, hiding this replica's knowledge (Fig. 2's ``p4``).
+  the genesis QC, hiding this replica's knowledge (Fig. 2's ``p4``);
+* :class:`ReplyForger` — lie to clients: corrupt the result and result
+  digest of every outbound client reply (the attack reply certificates
+  exist to defeat — f forgers can never assemble f+1 matching replies).
 
 Also here: :func:`fuzz_schedule`, a seeded random-adversity runner used
 by the fuzz tests — random crashes, partitions and heals over a run, with
@@ -108,6 +111,32 @@ class QCHider(Strategy):
                     justify=self.genesis_justify,
                     share=payload.share,
                 ),
+            )
+        else:
+            send(dst, payload)
+
+
+class ReplyForger(Strategy):
+    """Forge client replies: corrupt the result and its digest.
+
+    Models a compromised replica lying to clients about execution
+    outcomes.  The forged digest is deterministic (bitwise complement)
+    so colluding forgers *agree with each other* — the strongest version
+    of the attack: with at most ``f`` forgers there are still only ``f``
+    matching forged replies, one short of a certificate, so a
+    :class:`~repro.client.ReplyCollector` must never certify one.
+    """
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        from dataclasses import replace
+
+        from repro.consensus.messages import ClientReply
+
+        if isinstance(payload, ClientReply):
+            forged_digest = bytes(b ^ 0xFF for b in payload.result_digest) or b"\xff" * 32
+            send(
+                dst,
+                replace(payload, result=b"forged", result_digest=forged_digest),
             )
         else:
             send(dst, payload)

@@ -64,6 +64,7 @@ def _load_point(
     observability=None,
     pipeline=None,
     crypto: str = "null",
+    client=None,
 ) -> RunResult:
     """One closed-loop load point for one protocol at one cluster size.
 
@@ -74,7 +75,9 @@ def _load_point(
 
     Pass a :class:`~repro.obs.observer.RunObservability` to collect
     per-replica metrics and per-phase latency histograms; the result's
-    ``phase_latency`` field is then populated from them.
+    ``phase_latency`` field is then populated from them.  Pass a
+    :class:`~repro.client.ClientConfig` with ``mode="real"`` to drive
+    the load through genuine protocol clients instead of the hub model.
     """
     result, _ = _load_point_ex(
         protocol,
@@ -88,6 +91,7 @@ def _load_point(
         observability=observability,
         pipeline=pipeline,
         crypto=crypto,
+        client=client,
     )
     return result
 
@@ -104,6 +108,7 @@ def _load_point_ex(
     observability=None,
     pipeline=None,
     crypto: str = "null",
+    client=None,
 ) -> tuple[RunResult, DESCluster]:
     """:func:`_load_point` that also returns the finished cluster.
 
@@ -126,6 +131,8 @@ def _load_point_ex(
         token_weight=_token_weight(clients),
         target="leader",
         warmup=warmup,
+        mode=client.mode if client is not None else "hub",
+        client_config=client,
     )
     cluster.start()
     cluster.sim.schedule(0.01, clients_pool.start)

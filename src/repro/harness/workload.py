@@ -24,6 +24,9 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.client.config import ClientConfig
+from repro.client.service import attach_client_services
+from repro.client.session import result_digest_of
 from repro.common.errors import ConfigError
 from repro.consensus.block import Block, Operation
 from repro.consensus.messages import ClientRequestBatch, ReplyBatch
@@ -38,28 +41,35 @@ def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
     hub_id = pool.hub_id
     reply_size = pool.reply_size
     # Blocks travel by reference in the DES, so every replica commits the
-    # *same* Block object; memoize its op-key tuple on the pool so the
-    # n-replica fan-in builds it once instead of n times per block.
+    # *same* Block object; memoize its op-key and result-digest tuples on
+    # the pool so the n-replica fan-in builds them once instead of n
+    # times per block.  (Hub replies carry no execution results, so each
+    # digest is the deterministic empty-result digest — the same value a
+    # real ClientService without an application would report.)
     if not hasattr(pool, "_op_keys_memo"):
-        pool._op_keys_memo = (None, ())
+        pool._op_keys_memo = (None, (), ())
 
-    def op_keys_of(block: Block) -> tuple:
-        memo_block, memo_keys = pool._op_keys_memo
+    def keys_and_digests_of(block: Block) -> tuple[tuple, tuple]:
+        memo_block, memo_keys, memo_digests = pool._op_keys_memo
         if memo_block is block:
-            return memo_keys
+            return memo_keys, memo_digests
         keys = tuple(op._key for op in block.operations)
-        pool._op_keys_memo = (block, keys)
-        return keys
+        digests = tuple(result_digest_of(c, s, b"") for c, s in keys)
+        pool._op_keys_memo = (block, keys, digests)
+        return keys, digests
 
     def on_commit(block: Block, when: float) -> None:
         if not block.operations:
             return
+        keys, digests = keys_and_digests_of(block)
         batch = ReplyBatch(
             replica=replica.id,
             block_digest=block.digest,
-            op_keys=op_keys_of(block),
+            op_keys=keys,
             num_ops=block.num_ops,
             reply_size=reply_size,
+            result_digests=digests,
+            view=replica.cview,
         )
         replica.ctx.send(hub_id, batch)
 
@@ -198,7 +208,22 @@ class OpenLoopClients:
 
 
 class ClosedLoopClients:
-    """Closed-loop client population attached to a :class:`DESCluster`."""
+    """Closed-loop client population attached to a :class:`DESCluster`.
+
+    Two client models share this interface:
+
+    * ``mode="hub"`` (default) — the aggregate lockstep population used
+      by every published figure: one unshaped hub endpoint, batched
+      submissions, bitmask ``f + 1`` acks.  Fast and faithful in the
+      bandwidth model, but no client-side protocol.
+    * ``mode="real"`` — one genuine
+      :class:`~repro.client.session.ClientSession` per token, driven
+      through the DES network: leader routing, retransmit-to-all with
+      backoff, reply certificates from ``f + 1`` matching result
+      digests, and replica-side session-table dedup + admission.  The
+      two modes must agree on committed throughput within a few percent
+      (asserted by the workload-equivalence test).
+    """
 
     def __init__(
         self,
@@ -209,6 +234,8 @@ class ClosedLoopClients:
         token_weight: int = 1,
         target: str = "leader",
         warmup: float = 0.0,
+        mode: str = "hub",
+        client_config: ClientConfig | None = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigError("need at least one client")
@@ -216,12 +243,15 @@ class ClosedLoopClients:
             raise ConfigError("token_weight must be >= 1")
         if target not in ("leader", "all"):
             raise ConfigError("target must be 'leader' or 'all'")
+        if mode not in ("hub", "real"):
+            raise ConfigError("mode must be 'hub' or 'real'")
         self.cluster = cluster
         experiment = cluster.experiment
         self.request_size = experiment.request_size if request_size is None else request_size
         self.reply_size = experiment.reply_size if reply_size is None else reply_size
         self.token_weight = token_weight
         self.target = target
+        self.mode = mode
         self.num_clients = num_clients
         self.num_tokens = max(1, num_clients // token_weight)
         self.hub_id = experiment.cluster.num_replicas
@@ -234,17 +264,59 @@ class ClosedLoopClients:
         self._acks: dict[tuple[int, int], int] = {}
         self._next_seq: dict[int, int] = {}
         self._payload = b"x" * self.request_size
+        self._endpoints: list[Any] = []
+        self.services: list[Any] = []
 
-        cluster.network.register(self.hub_id, self._on_message)
-        cluster.network.set_unshaped(self.hub_id)
-        for replica in cluster.replicas:
-            _attach_reply_sender(self, replica)
+        if mode == "real":
+            self._setup_real(client_config)
+        else:
+            cluster.network.register(self.hub_id, self._on_message)
+            cluster.network.set_unshaped(self.hub_id)
+            for replica in cluster.replicas:
+                _attach_reply_sender(self, replica)
 
     # ------------------------------------------------------------ plumbing
 
+    def _setup_real(self, client_config: ClientConfig | None) -> None:
+        """Build one protocol client per token (see module docstring)."""
+        from repro.client.runtime import DESClientEndpoint
+
+        config = client_config or ClientConfig(mode="real")
+        self.client_config = config
+        self.services = attach_client_services(
+            self.cluster, config, reply_size=self.reply_size
+        )
+        num_replicas = self.cluster.experiment.cluster.num_replicas
+        for token in range(self.num_tokens):
+            endpoint = DESClientEndpoint(
+                self.cluster,
+                num_replicas + token,
+                config,
+                weight=self.token_weight,
+                on_result=self._real_result_sink(token),
+            )
+            self._endpoints.append(endpoint)
+
+    def _real_result_sink(self, token: int):
+        weight = self.token_weight
+        payload = self._payload
+
+        def on_result(sequence: int, outcome: Any, latency: float) -> None:
+            now = self.cluster.sim.now
+            self.latency.record(now, latency, weight=weight)
+            self.throughput.record(now, weight)
+            # Closed loop: the certificate for one request releases the
+            # next one immediately.
+            self._endpoints[token].session.submit(payload)
+
+        return on_result
 
     def start(self) -> None:
         """Inject the initial window: one outstanding request per client."""
+        if self.mode == "real":
+            for endpoint in self._endpoints:
+                endpoint.session.submit(self._payload)
+            return
         ops = [self._new_op(token) for token in range(self.num_tokens)]
         self._submit(ops)
 
@@ -303,6 +375,31 @@ class ClosedLoopClients:
     @property
     def completed_ops(self) -> int:
         return self.throughput.ops
+
+    @property
+    def retransmits(self) -> int:
+        """Total client retransmit rounds (``mode="real"`` only)."""
+        return sum(e.session.retransmits for e in self._endpoints)
+
+    @property
+    def certified(self) -> int:
+        """Requests completed with a full reply certificate."""
+        return sum(e.session.certified for e in self._endpoints)
+
+    @property
+    def shed(self) -> int:
+        """Requests dropped by replica admission windows."""
+        return sum(s.shed for s in self.services)
+
+    @property
+    def replays(self) -> int:
+        """Duplicate requests answered from replica session caches."""
+        return sum(s.sessions.replays for s in self.services)
+
+    @property
+    def reply_mismatches(self) -> int:
+        """Replies contradicting a certified/majority digest (forgeries)."""
+        return sum(e.session.collector.mismatches for e in self._endpoints)
 
     def summary(self) -> dict[str, float]:
         return {

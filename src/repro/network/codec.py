@@ -27,9 +27,13 @@ from repro.consensus.messages import (
     ClientRequest,
     ClientRequestBatch,
     Justify,
+    LeaseAck,
+    LeaseProbe,
     PhaseMsg,
     PrePrepareMsg,
     Proposal,
+    ReadReply,
+    ReadRequest,
     ReplyBatch,
     StateTransferRequest,
     StateTransferResponse,
@@ -308,8 +312,10 @@ _register(
 _register(
     "clientreq",
     ClientRequest,
-    lambda m: [m.client_id, m.sequence, m.payload],
-    lambda d: ClientRequest(client_id=d[0], sequence=d[1], payload=d[2]),
+    lambda m: [m.client_id, m.sequence, m.payload, m.weight],
+    lambda d: ClientRequest(
+        client_id=d[0], sequence=d[1], payload=d[2], weight=d[3]
+    ),
 )
 _register(
     "clientreqbatch",
@@ -320,20 +326,69 @@ _register(
 _register(
     "clientreply",
     ClientReply,
-    lambda m: [m.client_id, m.sequence, m.replica, m.result],
-    lambda d: ClientReply(client_id=d[0], sequence=d[1], replica=d[2], result=d[3]),
+    lambda m: [
+        m.client_id, m.sequence, m.replica, m.result,
+        m.result_digest, m.view, m.weight, m.reply_size,
+    ],
+    lambda d: ClientReply(
+        client_id=d[0],
+        sequence=d[1],
+        replica=d[2],
+        result=d[3],
+        result_digest=d[4],
+        view=d[5],
+        weight=d[6],
+        reply_size=d[7],
+    ),
 )
 _register(
     "replybatch",
     ReplyBatch,
-    lambda m: [m.replica, m.block_digest, [[c, s] for c, s in m.op_keys], m.num_ops, m.reply_size],
+    lambda m: [
+        m.replica, m.block_digest, [[c, s] for c, s in m.op_keys],
+        m.num_ops, m.reply_size, list(m.result_digests), m.view,
+    ],
     lambda d: ReplyBatch(
         replica=d[0],
         block_digest=d[1],
         op_keys=tuple((c, s) for c, s in d[2]),
         num_ops=d[3],
         reply_size=d[4],
+        result_digests=tuple(d[5]),
+        view=d[6],
     ),
+)
+_register(
+    "readreq",
+    ReadRequest,
+    lambda m: [m.client_id, m.sequence, m.key, m.weight],
+    lambda d: ReadRequest(client_id=d[0], sequence=d[1], key=d[2], weight=d[3]),
+)
+_register(
+    "readreply",
+    ReadReply,
+    lambda m: [m.client_id, m.sequence, m.replica, m.view, m.value, m.ok, m.weight],
+    lambda d: ReadReply(
+        client_id=d[0],
+        sequence=d[1],
+        replica=d[2],
+        view=d[3],
+        value=d[4],
+        ok=d[5],
+        weight=d[6],
+    ),
+)
+_register(
+    "leaseprobe",
+    LeaseProbe,
+    lambda m: [m.leader, m.view, m.nonce],
+    lambda d: LeaseProbe(leader=d[0], view=d[1], nonce=d[2]),
+)
+_register(
+    "leaseack",
+    LeaseAck,
+    lambda m: [m.replica, m.view, m.nonce],
+    lambda d: LeaseAck(replica=d[0], view=d[1], nonce=d[2]),
 )
 
 

@@ -5,7 +5,13 @@ Operations are canonical-encoded commands applied in commit order:
 * ``["set", key, value]`` — write;
 * ``["del", key]`` — delete;
 * ``["add", key, delta]`` — integer increment (the bank example), which
-  creates the account at 0 on first touch.
+  creates the account at 0 on first touch;
+* ``["get", key]`` — ordered read: goes through consensus like a write
+  (the ``reads="commit"`` client path) and returns the value.
+
+:meth:`KVStateMachine.apply` returns the operation's *result bytes* —
+empty for writes, the stored value for reads, the new balance for adds —
+which is what replica replies digest and clients certify.
 
 Every replica applying the same committed sequence reaches the same
 state; :meth:`state_digest` lets tests and examples check that in one
@@ -49,11 +55,15 @@ class KVStateMachine:
     def encode_add(key: bytes, delta: int) -> bytes:
         return encode(["add", key, delta])
 
-    def apply(self, block: Block, op: Operation) -> None:
-        """Execution callback for :meth:`repro.consensus.ledger.Ledger`."""
+    def apply(self, block: Block, op: Operation) -> bytes:
+        """Execution callback for :meth:`repro.consensus.ledger.Ledger`.
+
+        Returns the operation's result bytes (what a replica's reply to
+        the client commits to).
+        """
         if not op.payload:
             self._applied += 1
-            return  # no-op operation (the paper's Fig. 10h workload)
+            return b""  # no-op operation (the paper's Fig. 10h workload)
         try:
             command = decode(op.payload)
         except ReproError as exc:
@@ -61,6 +71,7 @@ class KVStateMachine:
         if not isinstance(command, list) or not command:
             raise AppError("operation must decode to a non-empty list")
         verb = command[0]
+        result = b""
         if verb == "set" and len(command) == 3:
             self._write(command[1], command[2])
         elif verb == "del" and len(command) == 2:
@@ -70,10 +81,18 @@ class KVStateMachine:
         elif verb == "add" and len(command) == 3:
             current = int.from_bytes(self._state.get(command[1], b"\0" * 8), "big", signed=True)
             updated = current + int(command[2])
-            self._write(command[1], updated.to_bytes(8, "big", signed=True))
+            result = updated.to_bytes(8, "big", signed=True)
+            self._write(command[1], result)
+        elif verb == "get" and len(command) == 2:
+            result = self._state.get(command[1], b"")
         else:
             raise AppError(f"unknown command {command[:1]!r}")
         self._applied += 1
+        return result
+
+    @staticmethod
+    def encode_get(key: bytes) -> bytes:
+        return encode(["get", key])
 
     def _write(self, key: bytes, value: bytes) -> None:
         self._state[key] = value

@@ -17,6 +17,8 @@ import asyncio
 import itertools
 from typing import Any, Iterable
 
+from repro.client.config import ClientConfig
+from repro.client.runtime import LocalClient
 from repro.common.config import ClusterConfig
 from repro.consensus.crypto_service import ThresholdCryptoService
 from repro.consensus.messages import ClientRequest
@@ -42,6 +44,7 @@ class LocalCluster:
         seed: int = 0,
         observability: Any | None = None,
         pipeline: PipelineConfig | None = None,
+        client_config: ClientConfig | None = None,
     ) -> None:
         # batch_size=None defers to the ClusterConfig default, keeping
         # repro.common.config the single source of truth for it.
@@ -73,8 +76,10 @@ class LocalCluster:
         self.protocol = protocol
         self.rotation_interval = rotation_interval
         self._data_dirs = data_dirs
+        self.client_config = client_config
         self.nodes: list[Node] = []
         self._client_seq = itertools.count()
+        self._clients: list[LocalClient] = []
         self._started = False
 
     async def start(self) -> None:
@@ -91,6 +96,7 @@ class LocalCluster:
                 rotation_interval=self.rotation_interval,
                 observability=self.observability,
                 pipeline=self.pipeline,
+                client_config=self.client_config,
             )
             self.nodes.append(node)
         if isinstance(self.network, TcpNetwork):
@@ -102,6 +108,9 @@ class LocalCluster:
         await asyncio.sleep(0)
 
     async def stop(self) -> None:
+        for client in self._clients:
+            client.close()
+        self._clients.clear()
         for node in self.nodes:
             node.stop()
         close = getattr(self.network, "close", None)
@@ -117,6 +126,22 @@ class LocalCluster:
         await self.stop()
 
     # ------------------------------------------------------------- clients
+
+    def client(
+        self, client_id: int | None = None, config: ClientConfig | None = None
+    ) -> LocalClient:
+        """Create a protocol client endpoint on this cluster's transport.
+
+        Unlike :meth:`submit` (fire-and-forget broadcast), a
+        :class:`LocalClient` runs the full client protocol: leader
+        routing, retransmits, and ``f + 1``-matching reply certificates.
+        Endpoint ids are allocated from 20_000 upward when not given.
+        """
+        if client_id is None:
+            client_id = 20_000 + len(self._clients)
+        local = LocalClient(self, client_id, config or self.client_config)
+        self._clients.append(local)
+        return local
 
     async def submit(self, payload: bytes, client_id: int = 10_000) -> int:
         """Submit one operation to the cluster; returns its sequence number.
@@ -185,6 +210,7 @@ class LocalCluster:
             rotation_interval=self.rotation_interval,
             observability=self.observability,
             pipeline=self.pipeline,
+            client_config=self.client_config,
         )
         self.nodes[replica_id] = node
         node.start()

@@ -14,6 +14,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable
 
+from repro.client.config import ClientConfig
+from repro.client.service import ClientService
 from repro.common.config import ClusterConfig
 from repro.common.encoding import encode
 from repro.consensus.block import Block
@@ -91,6 +93,7 @@ class Node:
         rotation_interval: float | None = None,
         observability: Any | None = None,
         pipeline: PipelineConfig | None = None,
+        client_config: "ClientConfig | None" = None,
     ) -> None:
         self.id = replica_id
         self.ctx = AsyncioContext(transport, replica_id, config.num_replicas)
@@ -119,7 +122,17 @@ class Node:
         self.checkpoints = CheckpointManager(
             interval=config.checkpoint_interval, blockstore=self.blockstore, kv=self.kv
         )
-        self.replica.ledger.set_executor(self.app.apply)
+        # The client service wraps the application executor: it runs
+        # app.apply under the ledger's exactly-once guard, caches the
+        # reply per client session, and answers retransmits from that
+        # cache instead of re-executing.
+        self.client_service = ClientService(
+            self.replica,
+            client_config,
+            result_fn=self.app.apply,
+            read_fn=lambda key: self.app.get(key) or b"",
+        ).install()
+        self.replica.ledger.set_executor(self.client_service.execute)
         self.replica.commit_listeners.append(self._persist_commit)
         self.alive = True
         self._recovered_view: int | None = None

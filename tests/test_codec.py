@@ -14,9 +14,13 @@ from repro.consensus.messages import (
     ClientRequest,
     ClientRequestBatch,
     Justify,
+    LeaseAck,
+    LeaseProbe,
     PhaseMsg,
     PrePrepareMsg,
     Proposal,
+    ReadReply,
+    ReadRequest,
     ReplyBatch,
     SyncRequest,
     SyncResponse,
@@ -159,17 +163,45 @@ class TestMessageRoundtrips:
         assert roundtrip(ClientRequest(client_id=9, sequence=3, payload=b"x")) == ClientRequest(
             client_id=9, sequence=3, payload=b"x"
         )
+        assert roundtrip(
+            ClientRequest(client_id=9, sequence=3, payload=b"x", weight=7)
+        ) == ClientRequest(client_id=9, sequence=3, payload=b"x", weight=7)
         batch = ClientRequestBatch(
             operations=(Operation(client_id=1, sequence=2, payload=b"z", weight=5),)
         )
         assert roundtrip(batch) == batch
         reply = ClientReply(client_id=9, sequence=3, replica=1, result=b"ok")
         assert roundtrip(reply) == reply
+        full_reply = ClientReply(
+            client_id=9, sequence=3, replica=1, result=b"ok",
+            result_digest=digest_of("r"), view=4, weight=3, reply_size=150,
+        )
+        assert roundtrip(full_reply) == full_reply
         rb = ReplyBatch(
             replica=2, block_digest=digest_of("b"), op_keys=((1, 2), (3, 4)),
             num_ops=10, reply_size=150,
         )
         assert roundtrip(rb) == rb
+        rb_digests = ReplyBatch(
+            replica=2, block_digest=digest_of("b"), op_keys=((1, 2), (3, 4)),
+            num_ops=10, reply_size=150,
+            result_digests=(digest_of("r1"), digest_of("r2")), view=6,
+        )
+        assert roundtrip(rb_digests) == rb_digests
+
+    def test_read_and_lease_messages(self):
+        req = ReadRequest(client_id=9, sequence=4, key=b"k", weight=2)
+        assert roundtrip(req) == req
+        redirect = ReadReply(client_id=9, sequence=4, replica=2, view=3, ok=False)
+        assert roundtrip(redirect) == redirect
+        served = ReadReply(
+            client_id=9, sequence=4, replica=1, view=3, value=b"v", ok=True, weight=2
+        )
+        assert roundtrip(served) == served
+        probe = LeaseProbe(leader=1, view=3, nonce=17)
+        assert roundtrip(probe) == probe
+        ack = LeaseAck(replica=2, view=3, nonce=17)
+        assert roundtrip(ack) == ack
 
 
 class TestSignatureUnion:
