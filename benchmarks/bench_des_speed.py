@@ -51,8 +51,13 @@ SCENARIO = {
 }
 
 
-def run_once() -> tuple[int, float, float]:
-    """One timed run; returns (events_processed, sim_seconds, wall_seconds)."""
+def run_once(flight: bool = False) -> tuple[int, float, float]:
+    """One timed run; returns (events_processed, sim_seconds, wall_seconds).
+
+    ``flight=True`` attaches a flight-recorder-only observability layer
+    (no metrics, no tracer) — the configuration whose overhead must stay
+    low enough to leave the recorder on by default.
+    """
     cluster_cfg = ClusterConfig.for_f(
         SCENARIO["f"],
         batch_size=SCENARIO["batch"],
@@ -60,8 +65,16 @@ def run_once() -> tuple[int, float, float]:
         max_timeout=SCENARIO["max_timeout"],
     )
     experiment = ExperimentConfig(cluster=cluster_cfg, seed=SCENARIO["seed"])
+    observability = None
+    if flight:
+        from repro.obs.observer import RunObservability
+
+        observability = RunObservability(trace=False, flight=True, metrics=False)
     cluster = DESCluster(
-        experiment, protocol=SCENARIO["protocol"], crypto_mode=SCENARIO["crypto"]
+        experiment,
+        protocol=SCENARIO["protocol"],
+        crypto_mode=SCENARIO["crypto"],
+        observability=observability,
     )
     pool = ClosedLoopClients(
         cluster,
@@ -81,12 +94,12 @@ def run_once() -> tuple[int, float, float]:
     return cluster.sim.events_processed, cluster.sim.now, wall
 
 
-def measure(rounds: int) -> dict:
+def measure(rounds: int, flight: bool = False) -> dict:
     """Best-of-``rounds`` measurement of the fixed scenario."""
     best = None
     events = None
     for _ in range(rounds):
-        ev, sim_seconds, wall = run_once()
+        ev, sim_seconds, wall = run_once(flight=flight)
         if events is None:
             events = ev
         elif ev != events:
@@ -116,6 +129,15 @@ def main() -> int:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="record this run as the new baseline instead of gating",
+    )
+    parser.add_argument(
+        "--flight-tolerance", type=float, default=0.10,
+        help="allowed events/sec overhead of the flight recorder "
+             "(fraction vs this run's recorder-off speed, default 0.10)",
+    )
+    parser.add_argument(
+        "--skip-flight", action="store_true",
+        help="skip the flight-recorder overhead guard",
     )
     args = parser.parse_args()
 
@@ -158,6 +180,30 @@ def main() -> int:
             f"events/sec {run['events_per_sec']:,.0f} fell more than "
             f"{args.tolerance * 100:.0f}% below baseline {baseline['events_per_sec']:,.0f}"
         )
+
+    if not args.skip_flight:
+        # Flight-recorder overhead guard: same scenario, same rounds,
+        # recorder armed.  Compared against *this run's* recorder-off
+        # speed, not the committed baseline, so the guard is
+        # machine-independent.  The event count must not move at all —
+        # the recorder observes the simulation, it must never steer it.
+        flight_run = measure(args.rounds, flight=True)
+        if flight_run["events"] != run["events"]:
+            failures.append(
+                f"flight recorder changed the event count: "
+                f"{flight_run['events']} != {run['events']}"
+            )
+        overhead = 1.0 - flight_run["events_per_sec"] / run["events_per_sec"]
+        print(
+            f"flight recorder overhead: {overhead * 100:+.1f}% "
+            f"({flight_run['events_per_sec']:,.0f} vs {run['events_per_sec']:,.0f} ev/s, "
+            f"cap {args.flight_tolerance * 100:.0f}%)"
+        )
+        if overhead > args.flight_tolerance:
+            failures.append(
+                f"flight recorder costs {overhead * 100:.1f}% events/sec, "
+                f"over the {args.flight_tolerance * 100:.0f}% budget"
+            )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

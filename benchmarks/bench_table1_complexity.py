@@ -162,6 +162,49 @@ def test_per_pair_link_bytes(once, benchmark):
     assert proposal_bytes_per_msg > vote_bytes_per_msg * 10
 
 
+def test_empirical_linearity_observatory(once, benchmark, tmp_path):
+    """Empirical Table 1 from the complexity observatory, wide n.
+
+    :func:`repro.harness.audit.complexity_sweep` measures per-view
+    happy-path and per-crash view-change cost at several cluster sizes
+    through the same :class:`~repro.obs.complexity.ComplexityObservatory`
+    tap that backs ``repro audit``, then fits log-log cost-vs-n slopes.
+    The paper's linearity claim is the assertion that every fitted slope
+    stays below 1.3 (quadratic growth would fit ≈ 2).  The sweep result
+    is also written as a machine-readable JSON artifact.
+    """
+    import json
+    import os
+
+    from repro.harness.audit import complexity_sweep
+
+    sizes = (4, 16, 32, 64)
+
+    def run():
+        return complexity_sweep("marlin", sizes=sizes)
+
+    sweep = once(run)
+    print(sweep.render())
+    artifact = sweep.to_dict()
+    benchmark.extra_info["fits"] = artifact["fits"]
+    out = os.environ.get(
+        "REPRO_TABLE1_JSON", str(tmp_path / "table1_complexity.json")
+    )
+    with open(out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    assert sweep.linear, sweep.render()
+    for fit in sweep.fits:
+        assert fit.slope == fit.slope, f"{fit.metric}: not enough points to fit"
+        assert 0.7 < fit.slope < 1.3, f"{fit.metric}: slope {fit.slope:.2f} not ~linear"
+    # The observatory must have attributed real traffic at every size.
+    for point in sweep.happy:
+        assert point.rounds > 0 and point.bytes > 0
+    for point in sweep.view_change:
+        assert point.messages > 0 and point.authenticators > 0
+
+
 def test_table1_measured_view_change_cost(once, benchmark):
     def run():
         results = {}

@@ -33,6 +33,12 @@ from repro.common.config import (
     NetworkProfile,
 )
 from repro.consensus.pipeline import PipelineConfig
+from repro.harness.audit import (
+    AuditReport,
+    ComplexitySweep,
+    audited_run,
+    complexity_sweep,
+)
 from repro.harness.des_runtime import DESCluster
 from repro.harness.metrics import RunResult
 from repro.harness.scenarios import (
@@ -54,17 +60,23 @@ from repro.harness.scenarios import (
 )
 from repro.harness.parallel import ResultCache, SweepExecutor, code_fingerprint
 from repro.harness.workload import ClosedLoopClients
+from repro.obs.complexity import ComplexityObservatory, SlopeFit
+from repro.obs.flight import FlightRecorder, read_blackbox
 from repro.obs.observer import RunObservability
 from repro.runtime.cluster import LocalClient, LocalCluster
 
 __all__ = [
+    "AuditReport",
     "ClientConfig",
     "ClientSession",
     "ClosedLoopClients",
     "ClusterConfig",
+    "ComplexityObservatory",
+    "ComplexitySweep",
     "DEFAULT_MAX_BATCH",
     "DESCluster",
     "ExperimentConfig",
+    "FlightRecorder",
     "LATENCY_CAP",
     "LocalClient",
     "LocalCluster",
@@ -77,16 +89,20 @@ __all__ = [
     "RunObservability",
     "RunResult",
     "Scenario",
+    "SlopeFit",
     "SweepExecutor",
     "ViewChangeCost",
     "ViewChangeResult",
+    "audited_run",
     "code_fingerprint",
+    "complexity_sweep",
     "default_client_sweep",
     "load_point",
     "measure_normal_case_cost",
     "measure_view_change_cost",
     "peak_at_latency_cap",
     "peak_throughput",
+    "read_blackbox",
     "rotating_leader_throughput",
     "throughput_curve",
     "traced_run",

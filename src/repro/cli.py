@@ -312,6 +312,48 @@ def _cmd_client(args: argparse.Namespace) -> None:
     print(format_table("client path", ["metric", "value"], rows))
 
 
+def _cmd_audit(args: argparse.Namespace) -> None:
+    from repro.harness.audit import SWEEP_SIZES, audited_run, complexity_sweep
+
+    report = audited_run(
+        protocol=args.protocol,
+        n=args.n,
+        sim_time=args.sim_time,
+        seed=args.seed,
+        byzantine=args.byzantine,
+        dump=args.dump,
+        dump_dir=args.dump_dir,
+    )
+    print(report.render())
+    sweep = None
+    if not args.skip_sweep:
+        sizes = sorted(set([s for s in SWEEP_SIZES if s <= args.n] + [args.n]))
+        sweep = complexity_sweep(
+            args.protocol, sizes=sizes, seed=args.seed, max_slope=args.max_slope
+        )
+        print()
+        print(sweep.render())
+    if args.json:
+        import json
+
+        artifact = {"run": report.to_dict()}
+        if sweep is not None:
+            artifact["sweep"] = sweep.to_dict()
+        with open(args.json, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        log.info("wrote %s", args.json)
+    if args.byzantine != "none":
+        # Fault-injection mode: success means the auditor caught the attack.
+        if report.audit["ok"]:
+            print(f"audit FAILED to detect the injected {args.byzantine}")
+            raise SystemExit(1)
+        print(f"auditor detected the injected {args.byzantine}")
+        return
+    failed = not report.ok or (sweep is not None and not sweep.linear)
+    if failed:
+        raise SystemExit(1)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> None:
     from repro.harness.failures import fuzz_schedule
 
@@ -474,6 +516,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash the view-1 leader at this time to exercise client redirection",
     )
     p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser(
+        "audit", help="audited run: flight recorder, invariants, linearity verdict"
+    )
+    p.add_argument(
+        "--protocol",
+        default="marlin",
+        choices=[
+            "marlin", "hotstuff", "chained-marlin", "chained-hotstuff",
+            "fast-hotstuff", "insecure",
+        ],
+    )
+    p.add_argument("--n", type=int, default=4, help="cluster size (any n >= 4)")
+    p.add_argument("--sim-time", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--byzantine", choices=("none", "equivocator", "reply-forger"), default="none",
+        help="inject one faulty replica; exit 0 iff the auditor detects it",
+    )
+    p.add_argument(
+        "--dump", choices=("never", "on-violation", "always"), default="on-violation",
+        help="when to write the black-box flight-recorder dump",
+    )
+    p.add_argument("--dump-dir", default=None, help="directory for black-box dumps")
+    p.add_argument(
+        "--skip-sweep", action="store_true",
+        help="skip the wide-n complexity sweep (empirical Table 1)",
+    )
+    p.add_argument(
+        "--max-slope", type=float, default=1.3,
+        help="log-log slope bound for the linearity verdict",
+    )
+    p.add_argument("--json", default=None, help="write the machine-readable report here")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("fuzz", help="one randomly-adversarial schedule")
     common(p)

@@ -183,6 +183,9 @@ class ClientService:
                 return True  # shed: silence → the client's backoff retries
             self._inflight[key] = request.weight
             self.inflight_weight += request.weight
+            obs = getattr(self.replica, "obs", None)
+            if obs is not None and obs.enabled:
+                obs.client_admitted(request.client_id, request.sequence)
         # Proceed down the normal pool/forward path even for an op that
         # is already admitted: its first copy may have been drained into
         # a proposal that died with its view, and the retransmit is the

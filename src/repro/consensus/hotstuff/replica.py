@@ -318,7 +318,7 @@ class HotStuffReplica(ReplicaBase):
             return
         self.ctx.charge(self.costs.combine(self.config.quorum))
         if vote.phase == Phase.PREPARE:
-            self.obs.qc_formed(qc.block.digest, "prepare", vote.view)
+            self.obs.qc_formed(qc.block.digest, "prepare", vote.view, qc)
             if self._outstanding_prepare == vote.block.digest:
                 self._outstanding_prepare = None
             if _vh(qc) > _vh(self.prepare_qc):
@@ -328,12 +328,12 @@ class HotStuffReplica(ReplicaBase):
             )
             self._maybe_propose()
         elif vote.phase == Phase.PRECOMMIT:
-            self.obs.qc_formed(qc.block.digest, "pre-commit", vote.view)
+            self.obs.qc_formed(qc.block.digest, "pre-commit", vote.view, qc)
             self.ctx.broadcast(
                 PhaseMsg(phase=Phase.COMMIT, view=vote.view, justify=Justify(qc))
             )
         elif vote.phase == Phase.COMMIT:
-            self.obs.qc_formed(qc.block.digest, "commit", vote.view)
+            self.obs.qc_formed(qc.block.digest, "commit", vote.view, qc)
             self.ctx.broadcast(
                 PhaseMsg(phase=Phase.DECIDE, view=vote.view, justify=Justify(qc))
             )

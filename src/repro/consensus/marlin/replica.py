@@ -417,7 +417,7 @@ class MarlinReplica(ReplicaBase):
         if qc is not None:
             self.ctx.charge(self.costs.combine(self.config.quorum))
             self._pending_ppqcs.setdefault(view, []).append(qc)
-            self.obs.qc_formed(qc.block.digest, "pre-prepare", view)
+            self.obs.qc_formed(qc.block.digest, "pre-prepare", view, qc)
         self._try_start_prepare(view)
 
     def _try_start_prepare(self, view: int) -> None:
@@ -454,7 +454,7 @@ class MarlinReplica(ReplicaBase):
         if qc is None:
             return
         self.ctx.charge(self.costs.combine(self.config.quorum))
-        self.obs.qc_formed(qc.block.digest, "prepare", vote.view)
+        self.obs.qc_formed(qc.block.digest, "prepare", vote.view, qc)
         if self._outstanding_prepare == vote.block.digest:
             self._outstanding_prepare = None
         if compare_qc_rank(qc, self.high_qc.qc) is Rank.HIGHER:
@@ -468,7 +468,7 @@ class MarlinReplica(ReplicaBase):
         if qc is None:
             return
         self.ctx.charge(self.costs.combine(self.config.quorum))
-        self.obs.qc_formed(qc.block.digest, "commit", vote.view)
+        self.obs.qc_formed(qc.block.digest, "commit", vote.view, qc)
         self.ctx.broadcast(PhaseMsg(phase=Phase.DECIDE, view=vote.view, justify=Justify(qc)))
 
     # ================================================== normal case phases

@@ -348,7 +348,9 @@ class ReplicaBase(ABC):
         self.stats["blocks_committed"] += 1
         self.stats["ops_committed"] += len(block.operations)
         if self.obs.enabled:
-            self.obs.block_committed(block.digest, block.height, len(block.operations))
+            self.obs.block_committed(
+                block.digest, block.height, len(block.operations), block.view
+            )
         self.pool.forget(block.operations)
         now = self.ctx.now
         if self._batch_controller is not None:

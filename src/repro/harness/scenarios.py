@@ -23,6 +23,7 @@ from repro.common.errors import ConfigError
 from repro.harness.des_runtime import DESCluster
 from repro.harness.metrics import RunResult
 from repro.harness.workload import ClosedLoopClients
+from repro.obs.complexity import CostCell
 
 DEFAULT_MAX_BATCH = 30000
 """Natural batching cap (weighted ops per block).
@@ -524,45 +525,42 @@ def measure_normal_case_cost(
     consensus messages only, so event-driven Marlin should show ~4n per
     block (prepare + commit broadcasts and votes), HotStuff ~6n, and the
     chained variants ~2n.
+
+    The attribution runs through the
+    :class:`~repro.obs.complexity.ComplexityObservatory` — the same
+    instrument ``repro audit`` uses — so the benchmark tables and the
+    audit verdicts always read from one counter.
     """
-    from repro.consensus.messages import ClientRequestBatch, ReplyBatch
-    from repro.harness.analytical import authenticators_in
+    from repro.obs.complexity import ComplexityObservatory
 
     experiment = _experiment(f, seed=seed, batch=400, base_timeout=60.0)
     cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
     pool = ClosedLoopClients(cluster, num_clients=512, token_weight=4, warmup=warmup)
-    counters = {"messages": 0, "bytes": 0, "auth": 0, "blocks": 0, "armed": False}
-
-    def tap(envelope) -> None:
-        if not counters["armed"]:
-            return
-        if isinstance(envelope.payload, (ClientRequestBatch, ReplyBatch)):
-            return
-        counters["messages"] += 1
-        counters["bytes"] += envelope.size
-        counters["auth"] += authenticators_in(envelope.payload)
-
-    cluster.network.add_tap(tap)
+    observatory = ComplexityObservatory(num_replicas=experiment.cluster.num_replicas)
+    observatory.disarm()  # warm-up is excluded from the attribution
+    cluster.network.add_tap(observatory.tap)
+    counters = {"blocks": 0}
 
     def on_commit(block, when) -> None:
-        if counters["armed"] and block.operations:
+        if observatory.armed and block.operations:
             counters["blocks"] += 1
 
     cluster.replicas[1].commit_listeners.append(on_commit)
     cluster.start()
     cluster.sim.schedule(0.01, pool.start)
-    cluster.sim.schedule(warmup, lambda: counters.__setitem__("armed", True))
+    cluster.sim.schedule(warmup, observatory.arm)
     cluster.run(until=sim_time)
     cluster.assert_safety()
     blocks = max(counters["blocks"], 1)
+    consensus = observatory.consensus
     return NormalCaseCost(
         protocol=protocol,
         f=f,
         n=experiment.cluster.num_replicas,
         blocks=counters["blocks"],
-        messages_per_block=counters["messages"] / blocks,
-        bytes_per_block=counters["bytes"] / blocks,
-        authenticators_per_block=counters["auth"] / blocks,
+        messages_per_block=consensus.messages / blocks,
+        bytes_per_block=consensus.bytes / blocks,
+        authenticators_per_block=consensus.authenticators / blocks,
     )
 
 
@@ -598,49 +596,27 @@ def measure_view_change_cost(
     """Count messages/bytes/authenticators of a leader-crash view change.
 
     Traffic is measured from the moment the first correct replica enters
-    the new view until the first post-crash commit, using the network
-    tap; client request/reply traffic is excluded.
+    the new view until the first post-crash commit, through the
+    :class:`~repro.obs.complexity.ComplexityObservatory` tap; client
+    request/reply traffic is excluded.  The ``vc_*`` fields read the
+    observatory's per-type rows for the three view-change message
+    classes, so they keep exactly the old ad-hoc counter semantics.
     """
-    from repro.consensus.messages import (
-        AggregateNewView,
-        ClientRequestBatch,
-        PrePrepareMsg,
-        ReplyBatch,
-        ViewChangeMsg,
-    )
-    from repro.harness.analytical import authenticators_in
+    from repro.obs.complexity import ComplexityObservatory
 
     experiment = _experiment(f, seed=seed, batch=4000, base_timeout=0.5)
     cluster = DESCluster(
         experiment, protocol=protocol, crypto_mode="null", force_unhappy=force_unhappy
     )
     pool = ClosedLoopClients(cluster, num_clients=32, token_weight=1, target="all")
-    counters = {
-        "messages": 0, "bytes": 0, "auth": 0,
-        "vc_messages": 0, "vc_bytes": 0, "vc_auth": 0,
-        "armed": False,
-    }
-
-    def tap(envelope) -> None:
-        if not counters["armed"]:
-            return
-        if isinstance(envelope.payload, (ClientRequestBatch, ReplyBatch)):
-            return
-        counters["messages"] += 1
-        counters["bytes"] += envelope.size
-        auth = authenticators_in(envelope.payload)
-        counters["auth"] += auth
-        if isinstance(envelope.payload, (ViewChangeMsg, PrePrepareMsg, AggregateNewView)):
-            counters["vc_messages"] += 1
-            counters["vc_bytes"] += envelope.size
-            counters["vc_auth"] += auth
-
-    cluster.network.add_tap(tap)
+    observatory = ComplexityObservatory(num_replicas=experiment.cluster.num_replicas)
+    observatory.disarm()  # pre-crash traffic is excluded
+    cluster.network.add_tap(observatory.tap)
     cluster.start()
     cluster.sim.schedule(0.01, pool.start)
     crash_time = 3.0
     cluster.crash_at(0, crash_time)
-    cluster.sim.schedule_at(crash_time, lambda: counters.__setitem__("armed", True))
+    cluster.sim.schedule_at(crash_time, observatory.arm)
     cluster.run_until(
         lambda: any(
             when > crash_time and rid != 0 for rid, _, _, when in cluster.auditor.commits
@@ -654,15 +630,23 @@ def measure_view_change_cost(
         phases = 3
     else:
         phases = 2
+    consensus = observatory.consensus
+    vc = CostCell()
+    for name in ("ViewChangeMsg", "PrePrepareMsg", "AggregateNewView"):
+        cell = observatory.per_type.get(name)
+        if cell is not None:
+            vc.messages += cell.messages
+            vc.bytes += cell.bytes
+            vc.authenticators += cell.authenticators
     return ViewChangeCost(
         protocol=protocol,
         f=f,
         n=experiment.cluster.num_replicas,
-        messages=counters["messages"],
-        bytes_total=counters["bytes"],
-        authenticators=counters["auth"],
+        messages=consensus.messages,
+        bytes_total=consensus.bytes,
+        authenticators=consensus.authenticators,
         phases_to_commit=phases,
-        vc_messages=counters["vc_messages"],
-        vc_bytes=counters["vc_bytes"],
-        vc_authenticators=counters["vc_auth"],
+        vc_messages=vc.messages,
+        vc_bytes=vc.bytes,
+        vc_authenticators=vc.authenticators,
     )

@@ -21,10 +21,11 @@ import asyncio
 import pickle
 import random
 import struct
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import NetworkError, UnknownPeer
-from repro.network.message import WireSizer
+from repro.network.message import Envelope, WireSizer
+from repro.network.stats import TrafficStats
 from repro.network.transport import DeliveryHandler, Transport
 
 _FRAME = struct.Struct(">I")
@@ -55,7 +56,27 @@ class AsyncioNetwork(Transport):
         # the DES transport takes; sizes come from the shared WireSizer so
         # byte counters agree between the two runtimes.
         self._metrics = metrics
-        self._sizer = WireSizer() if metrics is not None else None
+        self._sizer = WireSizer()
+        # Same TrafficStats/tap surface the DES transport exposes, so the
+        # complexity observatory and per-pair accounting work here too.
+        self._stats = TrafficStats()
+        self._recording = True
+        self._taps: list[Callable[[Envelope], None]] = []
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._stats
+
+    def reset_stats(self) -> None:
+        self._stats = TrafficStats()
+
+    def set_recording(self, on: bool) -> None:
+        """Pause/resume traffic accounting (warm-up exclusion)."""
+        self._recording = on
+
+    def add_tap(self, tap: Callable[[Envelope], None]) -> None:
+        """Observe every delivered envelope (complexity accounting)."""
+        self._taps.append(tap)
 
     def register(self, endpoint: int, handler: DeliveryHandler) -> None:
         self._handlers[endpoint] = handler
@@ -71,25 +92,34 @@ class AsyncioNetwork(Transport):
         queue = self._queues.get(dst)
         if queue is None:
             raise UnknownPeer(f"no endpoint registered for id {dst}")
-        if self._metrics is not None and self._sizer is not None:
-            self._metrics.sent(src, self._sizer.size_of(payload))
+        size = self._sizer.size_of(payload)
+        if self._recording:
+            self._stats.record(src, dst, size)
+        if self._metrics is not None:
+            self._metrics.sent(src, size)
         if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
+            if self._recording:
+                self._stats.dropped += 1
             if self._metrics is not None:
                 self._metrics.dropped(src)
             return
         if self._delay > 0.0 or self._jitter > 0.0:
             wait = self._delay + (self._rng.uniform(0, self._jitter) if self._jitter else 0.0)
             loop = asyncio.get_event_loop()
-            loop.call_later(wait, queue.put_nowait, (src, payload))
+            loop.call_later(wait, queue.put_nowait, (src, payload, size))
         else:
-            queue.put_nowait((src, payload))
+            queue.put_nowait((src, payload, size))
 
     async def _pump(self, endpoint: int) -> None:
         queue = self._queues[endpoint]
         while True:
-            src, payload = await queue.get()
-            if self._metrics is not None and self._sizer is not None:
-                self._metrics.received(endpoint, self._sizer.size_of(payload))
+            src, payload, size = await queue.get()
+            if self._metrics is not None:
+                self._metrics.received(endpoint, size)
+            if self._taps:
+                envelope = Envelope(src, endpoint, payload, size, asyncio.get_event_loop().time())
+                for tap in self._taps:
+                    tap(envelope)
             handler = self._handlers.get(endpoint)
             if handler is not None:
                 handler(src, payload)

@@ -32,7 +32,10 @@ from repro.common.config import NetworkProfile
 from repro.common.errors import UnknownPeer
 from repro.des.simulator import Simulator
 from repro.network.message import Envelope, WireSizer
+from repro.network.stats import TrafficStats
 from repro.network.transport import DeliveryHandler, Transport
+
+__all__ = ["LOOPBACK_DELAY", "LinkState", "SimNetwork", "TrafficStats"]
 
 LOOPBACK_DELAY = 20e-6
 
@@ -52,37 +55,6 @@ class LinkState:
     free_at: float = 0.0
     #: Latest arrival handed to this link (TCP-like FIFO delivery floor).
     last_arrival: float = 0.0
-
-
-@dataclass
-class TrafficStats:
-    """Aggregate counters the benchmarks read.
-
-    ``per_pair`` counts messages per directed (src, dst) pair and
-    ``per_pair_bytes`` the wire bytes, so Table I can report both message
-    and byte/authenticator complexity per link.
-    """
-
-    messages: int = 0
-    bytes: int = 0
-    dropped: int = 0
-    per_pair: dict[tuple[int, int], int] = None  # type: ignore[assignment]
-    per_pair_bytes: dict[tuple[int, int], int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.per_pair is None:
-            self.per_pair = {}
-        if self.per_pair_bytes is None:
-            self.per_pair_bytes = {}
-
-    def record(self, src: int, dst: int, size: int) -> None:
-        self.messages += 1
-        self.bytes += size
-        pair = (src, dst)
-        per_pair = self.per_pair
-        per_pair[pair] = per_pair.get(pair, 0) + 1
-        per_bytes = self.per_pair_bytes
-        per_bytes[pair] = per_bytes.get(pair, 0) + size
 
 
 class SimNetwork(Transport):

@@ -1,0 +1,42 @@
+"""Traffic accounting shared by every transport.
+
+:class:`TrafficStats` started life inside the DES transport
+(:mod:`repro.network.simnet`); it lives here so the asyncio transport
+can keep the same counters and the complexity observatory works on both
+runtimes.  ``simnet`` re-exports it for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters the benchmarks read.
+
+    ``per_pair`` counts messages per directed (src, dst) pair and
+    ``per_pair_bytes`` the wire bytes, so Table I can report both message
+    and byte/authenticator complexity per link.
+    """
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    per_pair: dict[tuple[int, int], int] = None  # type: ignore[assignment]
+    per_pair_bytes: dict[tuple[int, int], int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.per_pair is None:
+            self.per_pair = {}
+        if self.per_pair_bytes is None:
+            self.per_pair_bytes = {}
+
+    def record(self, src: int, dst: int, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        pair = (src, dst)
+        per_pair = self.per_pair
+        per_pair[pair] = per_pair.get(pair, 0) + 1
+        per_bytes = self.per_pair_bytes
+        per_bytes[pair] = per_bytes.get(pair, 0) + size

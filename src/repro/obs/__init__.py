@@ -4,6 +4,16 @@ Shared by both runtimes (the DES and asyncio); see
 ``docs/OBSERVABILITY.md`` for the metric catalogue and span taxonomy.
 """
 
+from repro.obs.audit import OnlineAuditor, Violation
+from repro.obs.complexity import ComplexityObservatory, SlopeFit, fit_loglog_slope
+from repro.obs.flight import (
+    FlightEvent,
+    FlightRecorder,
+    decode_blackbox,
+    encode_blackbox,
+    read_blackbox,
+    write_blackbox,
+)
 from repro.obs.log import configure_cli_logging, get_logger, replica_logger
 from repro.obs.metrics import (
     Counter,
@@ -12,11 +22,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NetworkMetrics,
 )
-from repro.obs.observer import NULL_OBS, NullReplicaObs, ReplicaObs, RunObservability
+from repro.obs.observer import (
+    NULL_OBS,
+    FlightRecordingObs,
+    NullReplicaObs,
+    ReplicaObs,
+    RunObservability,
+)
 from repro.obs.tracer import Instant, NullTracer, Span, Tracer
 
 __all__ = [
+    "ComplexityObservatory",
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
+    "FlightRecordingObs",
     "Gauge",
     "Histogram",
     "Instant",
@@ -25,11 +45,19 @@ __all__ = [
     "NULL_OBS",
     "NullReplicaObs",
     "NullTracer",
+    "OnlineAuditor",
     "ReplicaObs",
     "RunObservability",
+    "SlopeFit",
     "Span",
     "Tracer",
+    "Violation",
     "configure_cli_logging",
+    "decode_blackbox",
+    "encode_blackbox",
+    "fit_loglog_slope",
     "get_logger",
+    "read_blackbox",
     "replica_logger",
+    "write_blackbox",
 ]

@@ -16,6 +16,21 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.obs.audit import OnlineAuditor
+from repro.obs.flight import (
+    EV_ADMIT,
+    EV_COMMIT,
+    EV_PHASE,
+    EV_PROPOSE,
+    EV_QC,
+    EV_SYNC,
+    EV_TIMEOUT,
+    EV_VIEW,
+    EV_VIEW_CHANGE,
+    EV_VOTE,
+    FlightRecorder,
+    write_blackbox,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, NetworkMetrics
 from repro.obs.tracer import LANE_VIEW, NullTracer, Span, Tracer
 
@@ -50,9 +65,13 @@ class NullReplicaObs:
 
     def phase_end(self, digest: bytes, phase: str) -> None: ...
 
-    def qc_formed(self, digest: bytes, phase: str, view: int) -> None: ...
+    def qc_formed(self, digest: bytes, phase: str, view: int, qc: Any = None) -> None: ...
 
-    def block_committed(self, digest: bytes, height: int, num_ops: int) -> None: ...
+    def block_committed(
+        self, digest: bytes, height: int, num_ops: int, view: int = -1
+    ) -> None: ...
+
+    def client_admitted(self, client_id: int, sequence: int) -> None: ...
 
 
 NULL_OBS = NullReplicaObs()
@@ -216,12 +235,14 @@ class ReplicaObs(NullReplicaObs):
         self._phase_histogram(phase).observe(now - started)
         self.tracer.end(self.replica, phase, self._key(digest), now)
 
-    def qc_formed(self, digest: bytes, phase: str, view: int) -> None:
+    def qc_formed(self, digest: bytes, phase: str, view: int, qc: Any = None) -> None:
         self.tracer.instant(
             self.replica, f"qc:{phase}", self._now(), key=self._key(digest), view=view
         )
 
-    def block_committed(self, digest: bytes, height: int, num_ops: int) -> None:
+    def block_committed(
+        self, digest: bytes, height: int, num_ops: int, view: int = -1
+    ) -> None:
         self._commits.inc()
         self._ops.inc(num_ops)
         now = self._now()
@@ -237,19 +258,176 @@ class ReplicaObs(NullReplicaObs):
             self._commit_latency.observe(root.duration)
 
 
-class RunObservability:
-    """One registry + tracer + network counters for a whole cluster run."""
+class FlightRecordingObs(NullReplicaObs):
+    """Observer that records flight events and feeds the online auditor.
 
-    def __init__(self, trace: bool = True) -> None:
+    Wraps an inner observer (metrics + spans, or :data:`NULL_OBS` when
+    only the recorder is wanted) so one ``attach_observer`` call wires a
+    replica into all three layers.  ``message_handled`` is deliberately
+    *not* recorded: the ring holds semantic protocol events, and skipping
+    the per-message hot path keeps the recorder cheap enough to stay on.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        inner: NullReplicaObs,
+        recorder: FlightRecorder,
+        auditor: OnlineAuditor | None = None,
+    ) -> None:
+        self._inner = inner
+        self._inner_enabled = inner.enabled
+        self.recorder = recorder
+        self.auditor = auditor
+        self._replica = recorder.replica_id
+        self._now = lambda: 0.0
+
+    def bind(self, ctx: Any) -> None:
+        self._now = lambda: ctx.now
+        self._inner.bind(ctx)
+
+    # Hot path: counted by the inner observer only, never recorded.
+    def message_handled(self, payload: Any) -> None:
+        if self._inner_enabled:
+            self._inner.message_handled(payload)
+
+    def vote_sent(self, phase: Any) -> None:
+        self.recorder.record(
+            self._now(), EV_VOTE, -1, detail=getattr(phase, "value", "") or ""
+        )
+        if self._inner_enabled:
+            self._inner.vote_sent(phase)
+
+    def view_entered(self, view: int, reason: str) -> None:
+        now = self._now()
+        self.recorder.record(now, EV_VIEW, view, detail=reason)
+        if self.auditor is not None:
+            self.auditor.on_view_entered(self._replica, view, now)
+        if self._inner_enabled:
+            self._inner.view_entered(view, reason)
+
+    def view_timeout(self, view: int) -> None:
+        self.recorder.record(self._now(), EV_TIMEOUT, view)
+        if self._inner_enabled:
+            self._inner.view_timeout(view)
+
+    def view_change_event(self, name: str, view: int, **meta: Any) -> None:
+        self.recorder.record(self._now(), EV_VIEW_CHANGE, view, detail=name)
+        if self._inner_enabled:
+            self._inner.view_change_event(name, view, **meta)
+
+    def view_change_done(self, view: int) -> None:
+        self.recorder.record(self._now(), EV_VIEW_CHANGE, view, detail="done")
+        if self._inner_enabled:
+            self._inner.view_change_done(view)
+
+    def sync_requested(self, attempt: int) -> None:
+        self.recorder.record(self._now(), EV_SYNC, -1, detail=str(attempt))
+        if self._inner_enabled:
+            self._inner.sync_requested(attempt)
+
+    def block_proposed(self, digest: bytes, view: int, height: int) -> None:
+        self.recorder.record(self._now(), EV_PROPOSE, view, height, digest)
+        if self._inner_enabled:
+            self._inner.block_proposed(digest, view, height)
+
+    def phase_begin(self, digest: bytes, phase: str, view: int, height: int | None = None) -> None:
+        now = self._now()
+        h = -1 if height is None else height
+        self.recorder.record(now, EV_PHASE, view, h, digest, phase)
+        if self.auditor is not None and phase == "prepare":
+            self.auditor.on_prepare(self._replica, digest, view, h, now)
+        if self._inner_enabled:
+            self._inner.phase_begin(digest, phase, view, height)
+
+    def phase_end(self, digest: bytes, phase: str) -> None:
+        if self._inner_enabled:
+            self._inner.phase_end(digest, phase)
+
+    def qc_formed(self, digest: bytes, phase: str, view: int, qc: Any = None) -> None:
+        now = self._now()
+        height = qc.block.height if qc is not None else -1
+        self.recorder.record(now, EV_QC, view, height, digest, phase)
+        if self.auditor is not None:
+            self.auditor.on_qc(self._replica, digest, phase, view, now, qc)
+        if self._inner_enabled:
+            self._inner.qc_formed(digest, phase, view, qc)
+
+    def block_committed(
+        self, digest: bytes, height: int, num_ops: int, view: int = -1
+    ) -> None:
+        now = self._now()
+        self.recorder.record(now, EV_COMMIT, view, height, digest, str(num_ops))
+        if self.auditor is not None:
+            self.auditor.on_commit(self._replica, digest, height, view, now)
+        if self._inner_enabled:
+            self._inner.block_committed(digest, height, num_ops, view)
+
+    def client_admitted(self, client_id: int, sequence: int) -> None:
+        self.recorder.record(
+            self._now(), EV_ADMIT, -1, detail=f"{client_id}:{sequence}"
+        )
+        if self._inner_enabled:
+            self._inner.client_admitted(client_id, sequence)
+
+
+class RunObservability:
+    """One registry + tracer + network counters for a whole cluster run.
+
+    ``flight=True`` adds a per-replica :class:`FlightRecorder`;
+    ``audit=True`` additionally streams the events through an
+    :class:`OnlineAuditor` (and implies ``flight``).  ``metrics=False``
+    skips the per-replica metrics/span observer so a flight-only run
+    pays just the ring append per event — the mode the DES speed
+    benchmark's overhead guard measures.
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        flight: bool = False,
+        audit: bool = False,
+        metrics: bool = True,
+        flight_capacity: int = 4096,
+    ) -> None:
         self.registry = MetricsRegistry()
         self.tracer: Tracer = Tracer() if trace else NullTracer()
-        self.net = NetworkMetrics(self.registry)
+        self._metrics_enabled = metrics
+        self.net = NetworkMetrics(self.registry) if metrics else None
+        self.flight = flight or audit
+        self.flight_capacity = flight_capacity
+        self.recorders: dict[int, FlightRecorder] = {}
+        self.auditor: OnlineAuditor | None = OnlineAuditor() if audit else None
+        if self.auditor is not None:
+            self.auditor.recorders = self.recorders
 
-    def replica_obs(self, replica_id: int, protocol: str) -> ReplicaObs:
-        return ReplicaObs(self.registry, self.tracer, replica_id, protocol)
+    def replica_obs(self, replica_id: int, protocol: str) -> NullReplicaObs:
+        inner: NullReplicaObs = (
+            ReplicaObs(self.registry, self.tracer, replica_id, protocol)
+            if self._metrics_enabled
+            else NULL_OBS
+        )
+        if not self.flight:
+            return inner
+        recorder = FlightRecorder(replica_id, self.flight_capacity)
+        self.recorders[replica_id] = recorder
+        return FlightRecordingObs(inner, recorder, self.auditor)
 
     def finish(self, ts: float) -> None:
         self.tracer.finish(ts)
+
+    # ---------------------------------------------------------- audit layer
+
+    def audit_report(self) -> dict[str, Any]:
+        """The auditor's structured report (empty shape when audit is off)."""
+        if self.auditor is None:
+            return {"ok": True, "events_audited": 0, "violations": [], "violations_by_kind": {}}
+        return self.auditor.report()
+
+    def write_blackbox(self, path: str, meta: dict[str, Any] | None = None) -> bytes:
+        """Dump every replica's flight ring to a deterministic black box."""
+        return write_blackbox(path, self.recorders, meta)
 
     # -------------------------------------------------------------- exports
 
