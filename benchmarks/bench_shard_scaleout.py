@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Shard scale-out benchmark: aggregate throughput vs group count.
+
+Marlin's linearity makes one group O(n) per block; the scale-out claim
+is that G independent key-routed groups deliver ~G× the aggregate
+committed throughput of one group (LinBFT-style amortization).  This
+benchmark measures that curve on the DES runtime and gates it:
+
+* **scale curve** — the same closed-loop offered load *per group*
+  (``CLIENTS_PER_GROUP`` tokens) at G ∈ {1, 2, 4} groups of equal size
+  (f=1, n=4).  Every group runs with its online auditor armed; the gate
+  is ``agg(G=4) >= 3.0 * (1 - tolerance) * agg(G=1)`` with zero auditor
+  violations and zero misrouted operations (the workload is routed by
+  the deployment's own :class:`~repro.client.router.ShardRouter`, so
+  the misroute guards must never fire).
+* **per-shard linearity** — a sharded deployment must not change the
+  per-group cost shape: at per-group n ∈ {4, 7, 10} (G fixed) each
+  group's :class:`~repro.obs.complexity.ComplexityObservatory` attributes
+  steady-state consensus bytes and authenticators per committed block,
+  and the fitted log-log slope of every group's cost-vs-n curve must
+  stay below ``MAX_SLOPE`` (linear ≈ 1, quadratic ≈ 2).
+
+The DES is deterministic, so the committed numbers in
+``benchmarks/BENCH_SHARD_SCALEOUT.json`` regenerate byte-identically
+(wall-clock time is not recorded); refresh after an intentional
+behaviour change with::
+
+    python benchmarks/bench_shard_scaleout.py --write-artifact
+
+Run:  python benchmarks/bench_shard_scaleout.py            (~1 min)
+      python benchmarks/bench_shard_scaleout.py --smoke    (CI, ~15 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.harness.report import format_table
+from repro.harness.workload import ShardedClosedLoopClients
+from repro.obs.complexity import SlopeFit
+from repro.shard import ShardConfig, ShardedCluster
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_SHARD_SCALEOUT.json"
+
+#: Closed-loop tokens per group — offered load scales with G so every
+#: group sees the same demand regardless of topology.
+CLIENTS_PER_GROUP = 256
+
+#: Log-log slope bound below which a per-shard cost curve counts as linear.
+MAX_SLOPE = 1.3
+
+#: Required aggregate speedup G=1 → G=4, and the allowed shortfall.
+TARGET_SPEEDUP = 3.0
+TOLERANCE = 0.10
+
+SCENARIO = {
+    "protocol": "marlin",
+    "f": 1,
+    "router": "hash",
+    "router_seed": 0,
+    "batch": 400,
+    "base_timeout": 120.0,
+    "max_timeout": 240.0,
+    "seed": 1,
+    "crypto": "null",
+}
+
+
+def _experiment(f: int) -> ExperimentConfig:
+    config = ClusterConfig.for_f(
+        f,
+        batch_size=SCENARIO["batch"],
+        base_timeout=SCENARIO["base_timeout"],
+        max_timeout=SCENARIO["max_timeout"],
+    )
+    return ExperimentConfig(cluster=config, seed=SCENARIO["seed"])
+
+
+def scale_point(
+    groups: int, clients_per_group: int, warmup: float, sim_time: float
+) -> dict[str, Any]:
+    """One audited sharded run; aggregate + per-shard committed throughput."""
+    shard = ShardConfig(
+        shards=groups,
+        router=SCENARIO["router"],
+        router_seed=SCENARIO["router_seed"],
+    )
+    sharded = ShardedCluster(
+        _experiment(SCENARIO["f"]),
+        shard=shard,
+        protocol=SCENARIO["protocol"],
+        crypto_mode=SCENARIO["crypto"],
+        audit=True,
+    )
+    pool = ShardedClosedLoopClients(
+        sharded,
+        num_clients=clients_per_group * groups,
+        request_size=150,
+        reply_size=150,
+        warmup=warmup,
+    )
+    sharded.start()
+    sharded.sim.schedule(0.01, pool.start)
+    sharded.run(until=sim_time)
+    sharded.assert_safety()
+    duration = sim_time - warmup
+    per_shard = [
+        sub.throughput.throughput(duration) if sub is not None else 0.0
+        for sub in pool.pools
+    ]
+    latency = pool.merged_latency()
+    return {
+        "groups": groups,
+        "clients": clients_per_group * groups,
+        "aggregate_tps": round(sum(per_shard), 1),
+        "per_shard_tps": [round(tps, 1) for tps in per_shard],
+        "p50_latency_ms": round(latency.p50() * 1000, 2),
+        "p99_latency_ms": round(latency.p99() * 1000, 2),
+        "misrouted_rejected": sharded.misrouted_rejected,
+        "audit_violations": sharded.audit_violations(),
+    }
+
+
+def complexity_point(
+    f: int, groups: int, warmup: float, sim_time: float
+) -> list[dict[str, Any]]:
+    """Per-group steady-state cost per committed block at per-group size n.
+
+    Mirrors the single-group happy-path instrument in
+    :func:`repro.harness.audit.complexity_sweep`: observatories are
+    armed at ``warmup``, blocks are counted while armed, and cost is
+    consensus traffic divided by committed blocks.
+    """
+    sharded = ShardedCluster(
+        _experiment(f),
+        shard=ShardConfig(
+            shards=groups,
+            router=SCENARIO["router"],
+            router_seed=SCENARIO["router_seed"],
+        ),
+        protocol=SCENARIO["protocol"],
+        crypto_mode=SCENARIO["crypto"],
+        observe_complexity=True,
+    )
+    n = sharded.experiment.cluster.num_replicas
+    pool = ShardedClosedLoopClients(
+        sharded, num_clients=64 * groups, warmup=warmup
+    )
+    blocks = [0] * groups
+    for group in sharded.groups:
+        def on_commit(block: Any, when: float, g: Any = group) -> None:
+            if g.observatory.armed and block.operations:
+                blocks[g.shard_id] += 1
+
+        group.cluster.replicas[1].commit_listeners.append(on_commit)
+    sharded.start()
+    sharded.sim.schedule(0.01, pool.start)
+    sharded.sim.schedule(warmup, sharded.arm_observatories)
+    sharded.run(until=sim_time)
+    sharded.assert_safety()
+    points = []
+    for group in sharded.groups:
+        rounds = max(blocks[group.shard_id], 1)
+        consensus = group.observatory.consensus
+        points.append(
+            {
+                "shard": group.shard_id,
+                "n": n,
+                "blocks": blocks[group.shard_id],
+                "bytes_per_block": round(consensus.bytes / rounds, 1),
+                "auths_per_block": round(consensus.authenticators / rounds, 2),
+            }
+        )
+    return points
+
+
+def fit_per_shard_slopes(
+    sizes: list[int], groups: int, warmup: float, sim_time: float
+) -> tuple[list[dict[str, Any]], list[SlopeFit]]:
+    """Cost-vs-n curves for every shard; one SlopeFit per (shard, metric)."""
+    by_size = {
+        f: complexity_point(f, groups, warmup, sim_time) for f in sizes
+    }
+    points = [p for pts in by_size.values() for p in pts]
+    fits: list[SlopeFit] = []
+    for shard_id in range(groups):
+        for metric, key in (
+            ("bytes/block", "bytes_per_block"),
+            ("authenticators/block", "auths_per_block"),
+        ):
+            curve = [
+                (p["n"], p[key])
+                for pts in by_size.values()
+                for p in pts
+                if p["shard"] == shard_id
+            ]
+            fits.append(SlopeFit(f"shard {shard_id} {metric}", curve, MAX_SLOPE))
+    return points, fits
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: shorter runs, scale gate only (skips the slope sweep)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=TOLERANCE,
+        help=f"allowed shortfall below the {TARGET_SPEEDUP:.0f}x speedup "
+             f"target (fraction, default {TOLERANCE})",
+    )
+    parser.add_argument(
+        "--write-artifact", action="store_true",
+        help=f"record results to {ARTIFACT_PATH.name} instead of just gating",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        group_counts = [1, 4]
+        clients_per_group, warmup, sim_time = 64, 2.0, 12.0
+    else:
+        group_counts = [1, 2, 4]
+        clients_per_group, warmup, sim_time = CLIENTS_PER_GROUP, 3.0, 30.0
+
+    curve = [
+        scale_point(groups, clients_per_group, warmup, sim_time)
+        for groups in group_counts
+    ]
+    rows = [
+        [
+            str(point["groups"]),
+            str(point["clients"]),
+            f"{point['aggregate_tps']:,.0f}",
+            f"{point['aggregate_tps'] / curve[0]['aggregate_tps']:.2f}x",
+            f"{point['p50_latency_ms']:.1f}",
+            str(point["misrouted_rejected"]),
+            str(point["audit_violations"]),
+        ]
+        for point in curve
+    ]
+    print(format_table(
+        f"Shard scale-out (marlin, f=1 per group, {clients_per_group} "
+        f"clients/group, {sim_time:.0f} sim s)",
+        ["G", "clients", "agg tx/s", "speedup", "p50 ms", "misrouted", "violations"],
+        rows,
+    ))
+
+    failures = []
+    speedup = curve[-1]["aggregate_tps"] / curve[0]["aggregate_tps"]
+    floor = TARGET_SPEEDUP * (1.0 - args.tolerance)
+    print(f"aggregate speedup G=1 -> G={curve[-1]['groups']}: {speedup:.2f}x "
+          f"(floor {floor:.2f}x)")
+    if speedup < floor:
+        failures.append(
+            f"aggregate speedup {speedup:.2f}x below the "
+            f"{TARGET_SPEEDUP:.0f}x target (floor {floor:.2f}x)"
+        )
+    for point in curve:
+        if point["audit_violations"]:
+            failures.append(
+                f"G={point['groups']}: {point['audit_violations']} online-audit "
+                "violations"
+            )
+        if point["misrouted_rejected"]:
+            failures.append(
+                f"G={point['groups']}: router-partitioned workload tripped the "
+                f"misroute guard {point['misrouted_rejected']} times"
+            )
+
+    slope_fits: list[SlopeFit] = []
+    complexity_points: list[dict[str, Any]] = []
+    if not args.smoke:
+        sizes = [1, 2, 3]  # per-group f -> n in {4, 7, 10}
+        complexity_points, slope_fits = fit_per_shard_slopes(
+            sizes, groups=4, warmup=2.0, sim_time=8.0
+        )
+        print()
+        for fit in slope_fits:
+            print(fit.render())
+            if not fit.linear:
+                failures.append(
+                    f"{fit.metric}: slope {fit.slope:.2f} is not linear "
+                    f"(bound {fit.max_slope})"
+                )
+
+    if args.write_artifact:
+        artifact = {
+            "scenario": {
+                **SCENARIO,
+                "clients_per_group": clients_per_group,
+                "warmup": warmup,
+                "sim_time": sim_time,
+            },
+            "scale_curve": curve,
+            "speedup_g1_to_g4": round(speedup, 3),
+            "per_shard_complexity": complexity_points,
+            "slopes": [
+                {"metric": fit.metric, "slope": round(fit.slope, 3),
+                 "linear": fit.linear}
+                for fit in slope_fits
+            ],
+        }
+        ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"\nartifact written to {ARTIFACT_PATH}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nall shard scale-out gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

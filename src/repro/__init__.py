@@ -46,6 +46,7 @@ from repro.harness.metrics import RunResult
 from repro.harness.workload import ClosedLoopClients
 from repro.obs.observer import RunObservability
 from repro.runtime.cluster import LocalCluster
+from repro.shard import ShardConfig, ShardedCluster
 
 __version__ = "1.0.0"
 
@@ -70,6 +71,8 @@ __all__ = [
     "RunObservability",
     "RunResult",
     "Scenario",
+    "ShardConfig",
+    "ShardedCluster",
     "api",
     "genesis_block",
     "__version__",

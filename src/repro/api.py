@@ -23,15 +23,17 @@ The old ``repro.harness.scenarios`` entry points still work but emit
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro.client import ClientConfig, ClientSession, ReplyCertificate
+from repro.client.router import ShardRouter
 from repro.common.config import (
     ClusterConfig,
     ExperimentConfig,
     MachineProfile,
     NetworkProfile,
 )
+from repro.common.errors import ConfigError
 from repro.consensus.pipeline import PipelineConfig
 from repro.harness.audit import (
     AuditReport,
@@ -39,7 +41,7 @@ from repro.harness.audit import (
     audited_run,
     complexity_sweep,
 )
-from repro.harness.des_runtime import DESCluster
+from repro.harness.des_runtime import DESCluster, PROTOCOLS
 from repro.harness.metrics import RunResult
 from repro.harness.scenarios import (
     DEFAULT_MAX_BATCH,
@@ -59,11 +61,13 @@ from repro.harness.scenarios import (
     view_change_latency,
 )
 from repro.harness.parallel import ResultCache, SweepExecutor, code_fingerprint
-from repro.harness.workload import ClosedLoopClients
+from repro.harness.workload import ClosedLoopClients, ShardedClosedLoopClients
 from repro.obs.complexity import ComplexityObservatory, SlopeFit
 from repro.obs.flight import FlightRecorder, read_blackbox
 from repro.obs.observer import RunObservability
 from repro.runtime.cluster import LocalClient, LocalCluster
+from repro.runtime.node import Node
+from repro.shard import ShardConfig, ShardedCluster, ShardedLocalCluster
 
 __all__ = [
     "AuditReport",
@@ -82,6 +86,7 @@ __all__ = [
     "LocalCluster",
     "MachineProfile",
     "NetworkProfile",
+    "Node",
     "NormalCaseCost",
     "PipelineConfig",
     "ReplyCertificate",
@@ -89,6 +94,11 @@ __all__ = [
     "RunObservability",
     "RunResult",
     "Scenario",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardedClosedLoopClients",
+    "ShardedCluster",
+    "ShardedLocalCluster",
     "SlopeFit",
     "SweepExecutor",
     "ViewChangeCost",
@@ -103,26 +113,43 @@ __all__ = [
     "peak_at_latency_cap",
     "peak_throughput",
     "read_blackbox",
+    "restart_replica",
     "rotating_leader_throughput",
     "throughput_curve",
     "traced_run",
+    "trigger_state_transfer",
     "view_change_latency",
 ]
+
+
+_CRYPTO_MODES = ("null", "threshold", "multisig")
 
 
 @dataclass(frozen=True, kw_only=True)
 class Scenario:
     """One experiment described declaratively (all fields keyword-only).
 
-    The same object drives every facade entry point; fields an entry
-    point does not use (e.g. ``clients`` for :func:`traced_run`, which
-    has its own light-load default) are simply ignored by it.
+    The single entry-point object of the facade: it composes the four
+    config surfaces — :class:`ClusterConfig` (replica shape),
+    :class:`ClientConfig` (client protocol), :class:`PipelineConfig`
+    (batching/pipelining) and :class:`ShardConfig` (topology) — plus the
+    run parameters, and every facade function consumes it.  Fields an
+    entry point does not use (e.g. ``clients`` for :func:`traced_run`,
+    which has its own light-load default) are simply ignored by it.
+
+    Construction validates every field and raises
+    :class:`~repro.common.errors.ConfigError` naming the offending one.
+    Derive variants with :meth:`with_overrides`::
+
+        base = Scenario(protocol="marlin", f=1)
+        wide = base.with_overrides(f=5, clients=16384)
+        sharded = base.with_overrides(shards=4)
     """
 
     #: "marlin", "hotstuff", "chained-marlin", "chained-hotstuff",
     #: "fast-hotstuff" or "insecure".
     protocol: str = "marlin"
-    #: Fault tolerance; the cluster has ``3f + 1`` replicas.
+    #: Fault tolerance; each consensus group has ``3f + 1`` replicas.
     f: int = 1
     #: Closed-loop client population for load points.
     clients: int = 4096
@@ -146,10 +173,103 @@ class Scenario:
     #: genuine protocol clients (sessions, retransmits, reply
     #: certificates) over the simulated network.
     client: "ClientConfig | None" = field(default=None)
+    #: Explicit per-group replica shape.  None derives the paper-testbed
+    #: shape from ``f``; when given it is authoritative and ``f`` must
+    #: either be left at its default or agree with ``cluster.f``.
+    cluster: ClusterConfig | None = field(default=None)
+    #: Topology: how many independent consensus groups, and how keys
+    #: route to them.  ``shards=G`` is sugar for ``shard=ShardConfig(
+    #: shards=G)``; give ``shard`` explicitly for router knobs.
+    shard: "ShardConfig | None" = field(default=None)
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"Scenario.protocol must be one of {sorted(PROTOCOLS)}, "
+                f"got {self.protocol!r}"
+            )
+        if self.f < 1:
+            raise ConfigError(f"Scenario.f must be >= 1, got {self.f}")
+        if self.clients < 1:
+            raise ConfigError(f"Scenario.clients must be >= 1, got {self.clients}")
+        if self.warmup < 0:
+            raise ConfigError(f"Scenario.warmup must be >= 0, got {self.warmup}")
+        if self.sim_time <= self.warmup:
+            raise ConfigError(
+                f"Scenario.sim_time must exceed warmup "
+                f"({self.warmup}), got {self.sim_time}"
+            )
+        if self.request_size < 0:
+            raise ConfigError(
+                f"Scenario.request_size must be >= 0, got {self.request_size}"
+            )
+        if self.reply_size < 0:
+            raise ConfigError(
+                f"Scenario.reply_size must be >= 0, got {self.reply_size}"
+            )
+        if self.crypto not in _CRYPTO_MODES:
+            raise ConfigError(
+                f"Scenario.crypto must be one of {_CRYPTO_MODES}, got {self.crypto!r}"
+            )
+        if self.shards < 1:
+            raise ConfigError(f"Scenario.shards must be >= 1, got {self.shards}")
+        if self.shard is not None and self.shards != 1 and self.shards != self.shard.shards:
+            raise ConfigError(
+                f"Scenario.shards ({self.shards}) contradicts "
+                f"Scenario.shard.shards ({self.shard.shards}); set one of them"
+            )
+        if self.cluster is not None and self.f != 1 and self.f != self.cluster.f:
+            raise ConfigError(
+                f"Scenario.f ({self.f}) contradicts Scenario.cluster.f "
+                f"({self.cluster.f}); the explicit cluster is authoritative"
+            )
+
+    def with_overrides(self, **overrides) -> "Scenario":
+        """A copy with the given fields replaced (and re-validated).
+
+        Unknown names raise :class:`~repro.common.errors.ConfigError`
+        naming the field, so typos fail loudly instead of silently
+        returning an unchanged scenario.
+        """
+        known = {spec.name for spec in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigError(
+                f"Scenario has no field(s) {', '.join(map(repr, unknown))}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return replace(self, **overrides)
+
+    def resolved_shard(self) -> "ShardConfig":
+        """The effective topology (``shard`` wins over the sugar field)."""
+        if self.shard is not None:
+            return self.shard
+        return ShardConfig(shards=self.shards)
+
+
+def _topology_kwargs(scenario: Scenario) -> dict:
+    """The cluster/shard kwargs a scenario adds to a harness call.
+
+    Only present when non-default, so unsharded task dicts (and thus
+    sweep-cache keys) keep their established shape.
+    """
+    extra: dict = {}
+    if scenario.cluster is not None:
+        extra["cluster"] = scenario.cluster
+    shard = scenario.resolved_shard()
+    if shard.shards > 1:
+        extra["shard"] = shard
+    return extra
 
 
 def load_point(scenario: Scenario, *, observability: RunObservability | None = None) -> RunResult:
-    """Run one closed-loop load point (Fig. 10a-f methodology)."""
+    """Run one closed-loop load point (Fig. 10a-f methodology).
+
+    With ``scenario.shards > 1`` the point runs G independent groups
+    over one simulator and the result reports aggregate throughput,
+    merged latency percentiles, and ``per_shard_tps``.
+    """
     return _load_point(
         scenario.protocol,
         scenario.f,
@@ -163,6 +283,7 @@ def load_point(scenario: Scenario, *, observability: RunObservability | None = N
         pipeline=scenario.pipeline,
         crypto=scenario.crypto,
         client=scenario.client,
+        **_topology_kwargs(scenario),
     )
 
 
@@ -230,6 +351,7 @@ def throughput_curve(
         pipeline=scenario.pipeline,
         crypto=scenario.crypto,
         client=scenario.client,
+        **_topology_kwargs(scenario),
     )
 
 
@@ -267,4 +389,30 @@ def peak_throughput(
         pipeline=scenario.pipeline,
         crypto=scenario.crypto,
         client=scenario.client,
+        **_topology_kwargs(scenario),
     )
+
+
+# ---------------------------------------------------------------------------
+# Recovery surface (asyncio runtime)
+
+
+async def restart_replica(cluster: LocalCluster, replica_id: int) -> Node:
+    """Crash-recover one replica of a :class:`LocalCluster` from disk.
+
+    Facade over :meth:`LocalCluster.restart` so scripted churn scenarios
+    never import ``repro.runtime.node`` internals.  Requires the cluster
+    to have been built with ``data_dirs``.
+    """
+    return await cluster.restart(replica_id)
+
+
+def trigger_state_transfer(cluster: LocalCluster, replica_id: int) -> None:
+    """Make one replica fetch a checkpoint + chain suffix from its peers.
+
+    The replica asks the cluster for the latest stable checkpoint and
+    replays forward — the path a node far behind the commit frontier
+    (e.g. after a long partition) uses to catch up without full WAL
+    replay.
+    """
+    cluster.nodes[replica_id].request_state_transfer()

@@ -12,6 +12,7 @@ Usage (installed, or ``python -m repro``):
     python -m repro trace      --protocol marlin --n 4 --out trace.json
     python -m repro metrics    --protocol marlin --f 1 --json metrics.json
     python -m repro client     --protocol marlin --clients 64 --reads leader-lease
+    python -m repro shard      --shards 4 --clients 16384
 
 Every command prints a small report; exit code 0 means the run completed
 and passed the safety audit.  ``--log-level debug`` surfaces the
@@ -354,6 +355,71 @@ def _cmd_audit(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_shard(args: argparse.Namespace) -> None:
+    from repro.harness.scenarios import _experiment, _token_weight
+    from repro.harness.workload import ShardedClosedLoopClients
+    from repro.shard import ShardConfig, ShardedCluster
+
+    shard = ShardConfig(shards=args.shards, router=args.router, router_seed=args.seed)
+    experiment = _experiment(
+        args.f, seed=args.seed, base_timeout=120.0, max_timeout=240.0
+    )
+    sharded = ShardedCluster(
+        experiment, shard=shard, protocol=args.protocol, crypto_mode="null", audit=True
+    )
+    pool = ShardedClosedLoopClients(
+        sharded,
+        num_clients=args.clients,
+        token_weight=_token_weight(args.clients),
+        warmup=args.warmup,
+    )
+    sharded.start()
+    sharded.sim.schedule(0.01, pool.start)
+    sharded.run(until=args.sim_time)
+    sharded.assert_safety()
+    duration = args.sim_time - args.warmup
+    rows = []
+    for group, sub in zip(sharded.groups, pool.pools):
+        tps = sub.throughput.throughput(duration=duration) if sub is not None else 0.0
+        lat = sub.latency.mean() if sub is not None else 0.0
+        report = (
+            group.observability.audit_report()
+            if group.observability is not None
+            else {"ok": True, "violations": []}
+        )
+        rows.append(
+            [
+                str(group.shard_id),
+                str(sub.num_clients if sub is not None else 0),
+                ktx(tps),
+                ms(lat),
+                str(group.misrouted_ops),
+                "OK" if report["ok"] else f"{len(report['violations'])} violations",
+            ]
+        )
+    aggregate = sum(
+        sub.throughput.throughput(duration=duration)
+        for sub in pool.pools
+        if sub is not None
+    )
+    merged = pool.merged_latency()
+    print(
+        format_table(
+            f"sharded run ({args.protocol}, G={args.shards}, f={args.f} per group)",
+            ["shard", "clients", "ktx/s", "lat ms", "misrouted", "audit"],
+            rows,
+        )
+    )
+    print(
+        f"\naggregate: {ktx(aggregate)} ktx/s  "
+        f"lat(mean)={ms(merged.mean())} ms  lat(p99)={ms(merged.p99())} ms"
+    )
+    violations = sharded.audit_violations()
+    if violations:
+        print(f"online audit: {violations} violation(s)")
+        raise SystemExit(1)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> None:
     from repro.harness.failures import fuzz_schedule
 
@@ -550,6 +616,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default=None, help="write the machine-readable report here")
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "shard", help="G consensus groups over one simulator, key-routed clients"
+    )
+    common(p)
+    p.add_argument("--shards", type=int, default=4, help="consensus groups (G)")
+    p.add_argument(
+        "--router", choices=("hash", "modulo"), default="hash",
+        help="key->shard scheme (see docs/SHARDING.md)",
+    )
+    p.add_argument("--clients", type=int, default=16384, help="global client population")
+    p.add_argument("--warmup", type=float, default=7.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser("fuzz", help="one randomly-adversarial schedule")
     common(p)

@@ -65,6 +65,8 @@ class ClientSession:
         weight: int = 1,
         on_result: ResultCallback | None = None,
         rng: random.Random | None = None,
+        router: Any | None = None,
+        shard: int | None = None,
     ) -> None:
         self.client_id = client_id
         self.ctx = ctx
@@ -73,7 +75,22 @@ class ClientSession:
         self.weight = weight
         self.on_result = on_result
         self.collector = ReplyCollector(f)
-        self.tracker = LeaderTracker(num_replicas)
+        # Shard-awareness: on a sharded deployment the session is bound
+        # to the one group its identity routes to, and refuses to be
+        # wired to any other (a mis-bound session would submit commands
+        # the group's guard rejects; fail at construction instead).
+        self.router = router
+        self.shard = router.shard_of_client(client_id) if router is not None else shard
+        if (
+            router is not None
+            and shard is not None
+            and shard != self.shard
+        ):
+            raise ValueError(
+                f"client {client_id} routes to shard {self.shard}, but the "
+                f"session was bound to shard {shard}"
+            )
+        self.tracker = LeaderTracker(num_replicas, shard=self.shard)
         self.rng = rng if rng is not None else random.Random(0xC11E57 ^ client_id)
 
         self._next_seq = 1

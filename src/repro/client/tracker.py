@@ -20,11 +20,18 @@ class LeaderTracker:
     #: Sentinel target meaning "send to every replica".
     BROADCAST = -1
 
-    def __init__(self, num_replicas: int, initial_view: int = 1) -> None:
+    def __init__(
+        self, num_replicas: int, initial_view: int = 1, shard: int | None = None
+    ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
         self.num_replicas = num_replicas
         self.view = initial_view
+        #: Consensus group this tracker's leader belief is about (None on
+        #: an unsharded deployment).  Views/leaders are per-group state,
+        #: so a shard-aware client keeps one tracker per session, each
+        #: pinned to the session's home group.
+        self.shard = shard
         #: Consecutive reply timeouts since the last successful reply;
         #: any timeout demotes routing to broadcast until trust returns.
         self.strikes = 0

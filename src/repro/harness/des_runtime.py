@@ -105,7 +105,17 @@ class DESContext(NodeContext):
 
 
 class DESCluster:
-    """An ``n``-replica protocol deployment inside one simulator."""
+    """An ``n``-replica protocol deployment inside one simulator.
+
+    Normally the cluster owns its :class:`Simulator`; a sharded runtime
+    (:class:`repro.shard.ShardedCluster`) instead passes a shared ``sim``
+    so many independent groups advance in one event loop, and a shared
+    ``crypto`` service so G same-shape groups pay one key setup instead
+    of G.  ``inbound_filter`` (``filter(replica_id, src, payload) ->
+    payload | None``) screens deliveries before they reach a replica —
+    the hook shard guards use to reject mis-routed commands; ``None``
+    keeps the unfiltered fast path.
+    """
 
     def __init__(
         self,
@@ -118,6 +128,9 @@ class DESCluster:
         use_cost_model: bool = True,
         observability: Any | None = None,
         pipeline: PipelineConfig | None = None,
+        sim: Simulator | None = None,
+        crypto: CryptoService | None = None,
+        inbound_filter: Callable[[int, int, Any], Any] | None = None,
     ) -> None:
         if protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {protocol!r}; pick from {sorted(PROTOCOLS)}")
@@ -127,7 +140,8 @@ class DESCluster:
         #: network (traffic counters) and every replica (metrics + spans).
         self.observability = observability
         cluster = experiment.cluster
-        self.sim = Simulator(seed=experiment.seed)
+        self.sim = sim if sim is not None else Simulator(seed=experiment.seed)
+        self._inbound_filter = inbound_filter
         sizer = WireSizer()
         self.network = SimNetwork(
             self.sim,
@@ -135,7 +149,9 @@ class DESCluster:
             sizer,
             metrics=observability.net if observability is not None else None,
         )
-        self.crypto = self._make_crypto(crypto_mode, cluster.num_replicas, cluster.quorum)
+        if crypto is None:
+            crypto = self._make_crypto(crypto_mode, cluster.num_replicas, cluster.quorum)
+        self.crypto = crypto
         if observability is not None:
             self.crypto.bind_metrics(observability.registry)
             sizer.bind_fallback_counter(
@@ -216,12 +232,26 @@ class DESCluster:
     def _delivery_adapter(self, replica_id: int) -> Callable[[int, Any], None]:
         process = self.processes[replica_id]
         replica_ref = self.replicas
+        inbound = self._inbound_filter
+        if inbound is None:
 
-        def deliver(src: int, payload: Any) -> None:
-            # Processing waits for the CPU; the handler then charges more.
-            process.run_after_cpu(0.0, lambda: replica_ref[replica_id].on_message(src, payload))
+            def deliver(src: int, payload: Any) -> None:
+                # Processing waits for the CPU; the handler then charges more.
+                process.run_after_cpu(
+                    0.0, lambda: replica_ref[replica_id].on_message(src, payload)
+                )
 
-        return deliver
+            return deliver
+
+        def deliver_filtered(src: int, payload: Any) -> None:
+            payload = inbound(replica_id, src, payload)
+            if payload is None:
+                return
+            process.run_after_cpu(
+                0.0, lambda: replica_ref[replica_id].on_message(src, payload)
+            )
+
+        return deliver_filtered
 
     # ------------------------------------------------------------- control
 
@@ -267,6 +297,18 @@ class DESCluster:
     def assert_safety(self) -> None:
         """Raise if any two replicas committed conflicting blocks."""
         self.auditor.check()
+
+    def commit_trace(self) -> list[list[Any]]:
+        """The run's commit history as plain data.
+
+        ``[[replica_id, height, digest, repr(when)], ...]`` in commit
+        order — the canonical-encodable shape the parallel sweep workers
+        and the shard determinism tests fingerprint for byte-identity.
+        """
+        return [
+            [replica_id, height, digest, repr(when)]
+            for replica_id, height, digest, when in self.auditor.commits
+        ]
 
 
 def add_commit_listener(

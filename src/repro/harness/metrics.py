@@ -111,6 +111,11 @@ class RunResult:
     #: Optional per-phase latency breakdown ({phase: {count, mean, p50,
     #: p99}}), populated when the run carried an observability layer.
     phase_latency: dict[str, dict[str, float]] | None = None
+    #: Consensus groups the point ran over (1 = the unsharded runtime);
+    #: throughput/latency are then cluster-wide aggregates.
+    shards: int = 1
+    #: Per-shard committed throughput when ``shards > 1``.
+    per_shard_tps: list[float] | None = None
 
     def as_row(self) -> str:
         return (

@@ -160,11 +160,7 @@ def _eval_point(task: dict[str, Any]) -> dict[str, Any]:
     from repro.harness.scenarios import _load_point_ex
 
     result, cluster = _load_point_ex(**task)
-    trace = [
-        [replica_id, height, digest, repr(when)]
-        for replica_id, height, digest, when in cluster.auditor.commits
-    ]
-    trace_sha = hashlib.sha256(encode(trace)).hexdigest()
+    trace_sha = hashlib.sha256(encode(cluster.commit_trace())).hexdigest()
     return {"result": asdict(result), "trace_sha256": trace_sha}
 
 

@@ -66,6 +66,8 @@ def _load_point(
     pipeline=None,
     crypto: str = "null",
     client=None,
+    cluster=None,
+    shard=None,
 ) -> RunResult:
     """One closed-loop load point for one protocol at one cluster size.
 
@@ -79,6 +81,10 @@ def _load_point(
     ``phase_latency`` field is then populated from them.  Pass a
     :class:`~repro.client.ClientConfig` with ``mode="real"`` to drive
     the load through genuine protocol clients instead of the hub model.
+    Pass a :class:`~repro.common.config.ClusterConfig` as ``cluster`` to
+    override the derived per-group shape, and a
+    :class:`~repro.shard.ShardConfig` as ``shard`` to run G groups and
+    report aggregate (plus per-shard) throughput.
     """
     result, _ = _load_point_ex(
         protocol,
@@ -93,6 +99,8 @@ def _load_point(
         pipeline=pipeline,
         crypto=crypto,
         client=client,
+        cluster=cluster,
+        shard=shard,
     )
     return result
 
@@ -110,13 +118,37 @@ def _load_point_ex(
     pipeline=None,
     crypto: str = "null",
     client=None,
+    cluster=None,
+    shard=None,
 ) -> tuple[RunResult, DESCluster]:
     """:func:`_load_point` that also returns the finished cluster.
 
     The parallel sweep workers use the cluster to fingerprint the commit
-    trace, so serial and multi-process runs can be proven identical.
+    trace (via ``commit_trace()``), so serial and multi-process runs can
+    be proven identical.  With ``shard.shards > 1`` the returned cluster
+    is a :class:`~repro.shard.ShardedCluster` and the result carries
+    aggregate metrics plus ``per_shard_tps``.
     """
-    experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
+    cluster_config = cluster
+    if cluster_config is not None:
+        experiment = ExperimentConfig(cluster=cluster_config, seed=seed)
+    else:
+        experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
+    if shard is not None and shard.shards > 1:
+        return _sharded_load_point(
+            experiment,
+            shard,
+            protocol=protocol,
+            clients=clients,
+            sim_time=sim_time,
+            warmup=warmup,
+            request_size=request_size,
+            reply_size=reply_size,
+            observability=observability,
+            pipeline=pipeline,
+            crypto=crypto,
+            client=client,
+        )
     cluster = DESCluster(
         experiment,
         protocol=protocol,
@@ -156,6 +188,81 @@ def _load_point_ex(
         phase_latency=phase_latency,
     )
     return result, cluster
+
+
+def _sharded_load_point(
+    experiment: ExperimentConfig,
+    shard,
+    protocol: str,
+    clients: int,
+    sim_time: float,
+    warmup: float,
+    request_size: int,
+    reply_size: int,
+    observability,
+    pipeline,
+    crypto: str,
+    client,
+):
+    """One closed-loop load point over G independent groups.
+
+    Same methodology as the unsharded point — equal per-group cluster
+    shape, the global client population routed by key — with aggregate
+    throughput summed and latency percentiles computed over the merged
+    weighted samples.
+    """
+    from repro.shard.cluster import ShardedCluster
+    from repro.harness.workload import ShardedClosedLoopClients
+
+    if observability is not None:
+        raise ConfigError(
+            "observability collectors are per-group on a sharded run; "
+            "drop observability or set shard.shards == 1"
+        )
+    sharded = ShardedCluster(
+        experiment,
+        shard=shard,
+        protocol=protocol,
+        crypto_mode=crypto,
+        pipeline=pipeline,
+    )
+    pool = ShardedClosedLoopClients(
+        sharded,
+        num_clients=clients,
+        request_size=request_size,
+        reply_size=reply_size,
+        token_weight=_token_weight(clients),
+        target="leader",
+        warmup=warmup,
+        mode=client.mode if client is not None else "hub",
+        client_config=client,
+    )
+    sharded.start()
+    sharded.sim.schedule(0.01, pool.start)
+    sharded.run(until=sim_time)
+    sharded.assert_safety()
+    duration = sim_time - warmup
+    per_shard_tps = [
+        sub.throughput.throughput(duration=duration) if sub is not None else 0.0
+        for sub in pool.pools
+    ]
+    latency = pool.merged_latency()
+    blocks = sum(
+        max(r.stats["blocks_committed"] for r in group.cluster.replicas)
+        for group in sharded.groups
+    )
+    result = RunResult(
+        clients=clients,
+        throughput_tps=sum(per_shard_tps),
+        mean_latency=latency.mean(),
+        p50_latency=latency.p50(),
+        p99_latency=latency.p99(),
+        blocks_committed=blocks,
+        sim_time=sim_time,
+        shards=shard.shards,
+        per_shard_tps=per_shard_tps,
+    )
+    return result, sharded
 
 
 def _traced_scenario(

@@ -236,6 +236,7 @@ class ClosedLoopClients:
         warmup: float = 0.0,
         mode: str = "hub",
         client_config: ClientConfig | None = None,
+        client_ids: list[int] | None = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigError("need at least one client")
@@ -256,6 +257,20 @@ class ClosedLoopClients:
         self.num_tokens = max(1, num_clients // token_weight)
         self.hub_id = experiment.cluster.num_replicas
         self.f = experiment.cluster.f
+        # Token identities.  The default 0..T-1 keeps every existing trace
+        # byte-identical; a sharded workload passes the global client ids
+        # its router assigned to this group so the groups' misroute guards
+        # (and the routing-determinism tests) see honest identities.
+        self._explicit_ids = client_ids is not None
+        if client_ids is None:
+            self.client_ids = list(range(self.num_tokens))
+        else:
+            if len(client_ids) != self.num_tokens:
+                raise ConfigError(
+                    f"client_ids has {len(client_ids)} entries for "
+                    f"{self.num_tokens} tokens"
+                )
+            self.client_ids = list(client_ids)
 
         self.latency = LatencyRecorder(window_start=warmup)
         self.throughput = ThroughputMeter(window_start=warmup)
@@ -287,10 +302,15 @@ class ClosedLoopClients:
             self.cluster, config, reply_size=self.reply_size
         )
         num_replicas = self.cluster.experiment.cluster.num_replicas
-        for token in range(self.num_tokens):
+        for token, client_id in enumerate(self.client_ids):
+            # Default ids (0..T-1) predate endpoint addressing and map to
+            # the legacy endpoint range; explicit (sharded) ids are already
+            # globally unique endpoint ids above the replica range and are
+            # used verbatim.
+            endpoint_id = client_id if self._explicit_ids else num_replicas + token
             endpoint = DESClientEndpoint(
                 self.cluster,
-                num_replicas + token,
+                endpoint_id,
                 config,
                 weight=self.token_weight,
                 on_result=self._real_result_sink(token),
@@ -317,14 +337,15 @@ class ClosedLoopClients:
             for endpoint in self._endpoints:
                 endpoint.session.submit(self._payload)
             return
-        ops = [self._new_op(token) for token in range(self.num_tokens)]
+        ops = [self._new_op(client_id) for client_id in self.client_ids]
         self._submit(ops)
 
-    def _new_op(self, token: int) -> Operation:
-        seq = self._next_seq.get(token, 0)
-        self._next_seq[token] = seq + 1
+    def _new_op(self, client_id: int) -> Operation:
+        seq = self._next_seq.get(client_id, 0)
+        self._next_seq[client_id] = seq + 1
         op = Operation(
-            client_id=token, sequence=seq, payload=self._payload, weight=self.token_weight
+            client_id=client_id, sequence=seq, payload=self._payload,
+            weight=self.token_weight,
         )
         self._submit_time[op._key] = self.cluster.sim.now
         return op
@@ -407,4 +428,105 @@ class ClosedLoopClients:
             "mean_latency": self.latency.mean(),
             "p50_latency": self.latency.p50(),
             "p99_latency": self.latency.p99(),
+        }
+
+
+class ShardedClosedLoopClients:
+    """Cross-shard closed-loop population over a sharded deployment.
+
+    The global client population is partitioned by the deployment's own
+    :class:`~repro.client.router.ShardRouter` — every token's commands go
+    to the one group its identity routes to, so the groups' misroute
+    guards see only honest traffic.  Each group gets an ordinary
+    :class:`ClosedLoopClients` sub-pool on its private network; the
+    aggregate readouts sum committed throughput and merge the weighted
+    latency samples, so cluster-wide percentiles are computed over the
+    union of samples rather than averaged per shard.
+
+    Global token ids start at ``num_replicas + 1`` so they are valid
+    endpoint ids in ``mode="real"`` and never collide with a group's hub.
+    """
+
+    def __init__(
+        self,
+        sharded: Any,
+        num_clients: int,
+        request_size: int | None = None,
+        reply_size: int | None = None,
+        token_weight: int = 1,
+        target: str = "leader",
+        warmup: float = 0.0,
+        mode: str = "hub",
+        client_config: ClientConfig | None = None,
+    ) -> None:
+        if num_clients < 1:
+            raise ConfigError("need at least one client")
+        if token_weight < 1:
+            raise ConfigError("token_weight must be >= 1")
+        self.sharded = sharded
+        self.num_clients = num_clients
+        self.token_weight = token_weight
+        self.num_tokens = max(1, num_clients // token_weight)
+        self.warmup = warmup
+        num_replicas = sharded.experiment.cluster.num_replicas
+        base = num_replicas + 1
+        self.client_ids = [base + i for i in range(self.num_tokens)]
+        partition = sharded.router.partition_clients(self.client_ids)
+        #: One sub-pool per group (``None`` where no client routed).
+        self.pools: list[ClosedLoopClients | None] = []
+        for shard_id, sub_ids in enumerate(partition):
+            if not sub_ids:
+                self.pools.append(None)
+                continue
+            self.pools.append(
+                ClosedLoopClients(
+                    sharded.groups[shard_id].cluster,
+                    num_clients=len(sub_ids) * token_weight,
+                    request_size=request_size,
+                    reply_size=reply_size,
+                    token_weight=token_weight,
+                    target=target,
+                    warmup=warmup,
+                    mode=mode,
+                    client_config=client_config,
+                    client_ids=sub_ids,
+                )
+            )
+
+    def start(self) -> None:
+        """Inject the initial window on every populated group."""
+        for pool in self.pools:
+            if pool is not None:
+                pool.start()
+
+    # ------------------------------------------------------------ readouts
+
+    @property
+    def completed_ops(self) -> int:
+        return sum(pool.completed_ops for pool in self.pools if pool is not None)
+
+    def per_shard_tps(self) -> list[float]:
+        return [
+            pool.throughput.throughput() if pool is not None else 0.0
+            for pool in self.pools
+        ]
+
+    def merged_latency(self) -> LatencyRecorder:
+        """All groups' weighted latency samples in one recorder."""
+        merged = LatencyRecorder(window_start=self.warmup)
+        for pool in self.pools:
+            if pool is not None:
+                merged.samples.extend(pool.latency.samples)
+        return merged
+
+    def summary(self) -> dict[str, Any]:
+        latency = self.merged_latency()
+        per_shard = self.per_shard_tps()
+        return {
+            "throughput_tps": sum(per_shard),
+            "mean_latency": latency.mean(),
+            "p50_latency": latency.p50(),
+            "p99_latency": latency.p99(),
+            "per_shard_tps": per_shard,
+            "misrouted_rejected": self.sharded.misrouted_rejected,
         }

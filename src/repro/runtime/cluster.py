@@ -45,6 +45,7 @@ class LocalCluster:
         observability: Any | None = None,
         pipeline: PipelineConfig | None = None,
         client_config: ClientConfig | None = None,
+        crypto: ThresholdCryptoService | None = None,
     ) -> None:
         # batch_size=None defers to the ClusterConfig default, keeping
         # repro.common.config the single source of truth for it.
@@ -58,8 +59,15 @@ class LocalCluster:
         #: transport and every node's replica.
         self.observability = observability
         self.pipeline = pipeline
-        registry = KeyRegistry(self.config.num_replicas, self.config.quorum, seed=str(seed))
-        self.crypto = ThresholdCryptoService(registry)
+        if crypto is None:
+            # Key setup dominates construction cost; a sharded deployment
+            # (repro.shard.ShardedLocalCluster) passes one shared service
+            # so G same-shape groups pay it once.
+            registry = KeyRegistry(
+                self.config.num_replicas, self.config.quorum, seed=str(seed)
+            )
+            crypto = ThresholdCryptoService(registry)
+        self.crypto = crypto
         if observability is not None:
             self.crypto.bind_metrics(observability.registry)
         if transport == "queue":

@@ -1,0 +1,19 @@
+"""Multi-group sharding: many consensus groups over one shared runtime.
+
+See :mod:`repro.shard.cluster` for the DES deployment,
+:mod:`repro.shard.local` for the asyncio one, and
+:mod:`repro.shard.config` for the topology knobs.
+"""
+
+from repro.client.router import ShardRouter
+from repro.shard.cluster import ShardedCluster, ShardGroup
+from repro.shard.config import ShardConfig
+from repro.shard.local import ShardedLocalCluster
+
+__all__ = [
+    "ShardConfig",
+    "ShardRouter",
+    "ShardGroup",
+    "ShardedCluster",
+    "ShardedLocalCluster",
+]

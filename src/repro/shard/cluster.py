@@ -1,0 +1,248 @@
+"""Many independent consensus groups in one discrete-event simulator.
+
+Marlin's linearity makes one group O(n) per block; the scale-out story
+("millions of users", LinBFT-style amortization) runs G such groups side
+by side and routes every command to exactly one of them by key.
+:class:`ShardedCluster` is that deployment shape for the DES runtime:
+
+* **one shared** :class:`~repro.des.simulator.Simulator` advances all
+  groups in a single event loop, so a sharded run is one deterministic
+  trace, not G loosely-coupled ones;
+* **one shared crypto service** — all groups have the same shape
+  ``(n, quorum)``, so they pay one key setup instead of G (the
+  refactor that makes per-group state cheap to instantiate);
+* **per-group everything else** — each :class:`ShardGroup` owns its
+  :class:`~repro.network.simnet.SimNetwork` (endpoint ids never collide
+  across groups and messages physically cannot cross shards), replicas,
+  ledger, :class:`~repro.harness.invariants.CommitAuditor`, optional
+  online auditor, and optional
+  :class:`~repro.obs.complexity.ComplexityObservatory` tap.
+
+Routing discipline is enforced, not assumed: with
+``ShardConfig.reject_misrouted`` (the default) every group screens
+inbound client traffic through the shared
+:class:`~repro.client.router.ShardRouter` and *rejects* commands whose
+key routes elsewhere — counted in :attr:`ShardGroup.misrouted_ops`,
+never silently committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.client.router import ShardRouter
+from repro.common.config import ExperimentConfig
+from repro.consensus.messages import ClientRequest, ClientRequestBatch
+from repro.consensus.pipeline import PipelineConfig
+from repro.des.simulator import Simulator
+from repro.harness.des_runtime import DESCluster
+from repro.obs.complexity import ComplexityObservatory
+from repro.obs.observer import RunObservability
+from repro.shard.config import ShardConfig
+
+
+@dataclass
+class ShardGroup:
+    """One consensus group of a sharded deployment."""
+
+    shard_id: int
+    cluster: DESCluster
+    #: Per-group online observability (auditor) when the run is audited.
+    observability: RunObservability | None = None
+    #: Per-group complexity tap when the run observes message complexity.
+    observatory: ComplexityObservatory | None = None
+    #: Weighted count of client operations this group refused because
+    #: their routing key belongs to a different shard.
+    misrouted_ops: int = 0
+    #: How many inbound messages the guard dropped or rewrote.
+    misrouted_messages: int = field(default=0, repr=False)
+
+
+class ShardedCluster:
+    """G independent consensus groups over one shared simulator.
+
+    The constructor mirrors :class:`~repro.harness.des_runtime.DESCluster`
+    where the concepts coincide; ``shard`` carries the topology.  With
+    ``ShardConfig()`` (one shard) the behaviour — including the event
+    trace — matches a lone ``DESCluster`` with a guard installed.
+    """
+
+    def __init__(
+        self,
+        experiment: ExperimentConfig,
+        shard: ShardConfig | None = None,
+        protocol: str = "marlin",
+        crypto_mode: str = "null",
+        pipeline: PipelineConfig | None = None,
+        audit: bool = False,
+        observe_complexity: bool = False,
+    ) -> None:
+        self.experiment = experiment
+        self.shard = shard if shard is not None else ShardConfig()
+        self.protocol = protocol
+        self.router: ShardRouter = self.shard.make_router()
+        self.sim = Simulator(seed=experiment.seed)
+        cluster = experiment.cluster
+        # One key setup for all G same-shape groups.
+        self.crypto = DESCluster._make_crypto(
+            crypto_mode, cluster.num_replicas, cluster.quorum
+        )
+        self.groups: list[ShardGroup] = []
+        for shard_id in range(self.shard.shards):
+            observability = (
+                RunObservability(trace=False, metrics=False, audit=True)
+                if audit
+                else None
+            )
+            group = ShardGroup(shard_id=shard_id, cluster=None)  # type: ignore[arg-type]
+            group.cluster = DESCluster(
+                experiment,
+                protocol=protocol,
+                crypto_mode=crypto_mode,
+                observability=observability,
+                pipeline=pipeline,
+                sim=self.sim,
+                crypto=self.crypto,
+                inbound_filter=(
+                    self._guard(group) if self.shard.reject_misrouted else None
+                ),
+            )
+            group.observability = observability
+            if observe_complexity:
+                observatory = ComplexityObservatory(num_replicas=cluster.num_replicas)
+                observatory.disarm()
+                group.cluster.network.add_tap(observatory.tap)
+                group.observatory = observatory
+            self.groups.append(group)
+
+    # ------------------------------------------------------------- routing
+
+    def _guard(self, group: ShardGroup) -> Callable[[int, int, Any], Any]:
+        """The misroute filter installed on every replica of ``group``.
+
+        Client traffic whose routing key maps to a different shard is
+        stripped (batches) or dropped (single requests) and counted;
+        protocol traffic passes untouched.
+        """
+        router = self.router
+        shard_id = group.shard_id
+
+        def guard(replica_id: int, src: int, payload: Any) -> Any:
+            if isinstance(payload, ClientRequest):
+                if router.shard_of_client(payload.client_id) == shard_id:
+                    return payload
+                group.misrouted_ops += payload.weight
+                group.misrouted_messages += 1
+                return None
+            if isinstance(payload, ClientRequestBatch):
+                native = tuple(
+                    op
+                    for op in payload.operations
+                    if router.shard_of_client(op.client_id) == shard_id
+                )
+                if len(native) == len(payload.operations):
+                    return payload
+                group.misrouted_ops += sum(
+                    op.weight
+                    for op in payload.operations
+                    if router.shard_of_client(op.client_id) != shard_id
+                )
+                group.misrouted_messages += 1
+                if not native:
+                    return None
+                return ClientRequestBatch(operations=native)
+            return payload
+
+        return guard
+
+    @property
+    def shards(self) -> int:
+        return self.shard.shards
+
+    @property
+    def misrouted_rejected(self) -> int:
+        """Weighted operations rejected across all groups."""
+        return sum(group.misrouted_ops for group in self.groups)
+
+    # ------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Boot every replica of every group at t=0."""
+        for group in self.groups:
+            group.cluster.start()
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def run_until(
+        self, predicate: Callable[[], bool], deadline: float, step: float = 0.05
+    ) -> bool:
+        """Advance shared simulated time until ``predicate()`` or ``deadline``."""
+        while self.sim.now < deadline:
+            if predicate():
+                return True
+            self.sim.run(until=min(self.sim.now + step, deadline))
+        return predicate()
+
+    def crash(self, shard_id: int, replica_id: int) -> None:
+        """Crash-stop one replica of one group."""
+        self.groups[shard_id].cluster.crash(replica_id)
+
+    def crash_at(self, shard_id: int, replica_id: int, time: float) -> None:
+        self.sim.schedule_at(time, lambda: self.crash(shard_id, replica_id))
+
+    # ---------------------------------------------------------- observatory
+
+    def arm_observatories(self) -> None:
+        for group in self.groups:
+            if group.observatory is not None:
+                group.observatory.arm()
+
+    def disarm_observatories(self) -> None:
+        for group in self.groups:
+            if group.observatory is not None:
+                group.observatory.disarm()
+
+    # ------------------------------------------------------------ readouts
+
+    def committed_heights(self) -> list[list[int]]:
+        """Per-shard committed heights, one inner list per group."""
+        return [group.cluster.committed_heights() for group in self.groups]
+
+    def ops_committed_per_shard(self) -> list[int]:
+        return [group.cluster.total_ops_committed() for group in self.groups]
+
+    def total_ops_committed(self) -> int:
+        """Aggregate committed operations across all groups."""
+        return sum(self.ops_committed_per_shard())
+
+    def assert_safety(self) -> None:
+        """Raise if any group committed conflicting blocks."""
+        for group in self.groups:
+            group.cluster.assert_safety()
+
+    def commit_trace(self) -> list[list[Any]]:
+        """Flattened deterministic commit history across all groups.
+
+        ``[[shard, replica_id, height, digest, repr(when)], ...]`` —
+        groups in shard order, each group's commits in commit order.
+        The shape the determinism tests fingerprint for byte-identity.
+        """
+        trace: list[list[Any]] = []
+        for group in self.groups:
+            for row in group.cluster.commit_trace():
+                trace.append([group.shard_id, *row])
+        return trace
+
+    def audit_reports(self) -> list[dict[str, Any]]:
+        """One online-audit report per group (empty when not audited)."""
+        return [
+            group.observability.audit_report()
+            for group in self.groups
+            if group.observability is not None
+        ]
+
+    def audit_violations(self) -> int:
+        """Total online-auditor violations across all audited groups."""
+        return sum(len(report.get("violations", [])) for report in self.audit_reports())

@@ -1,0 +1,47 @@
+"""Shard topology configuration.
+
+One frozen dataclass carries every sharding knob, mirroring the other
+config surfaces (:class:`~repro.common.config.ClusterConfig`,
+:class:`~repro.client.config.ClientConfig`,
+:class:`~repro.consensus.pipeline.PipelineConfig`) that
+:class:`repro.api.Scenario` composes.  The default — one shard, hash
+routing, misroute rejection on — reproduces the unsharded runtime
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.router import ROUTER_SCHEMES, ShardRouter
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Topology of a multi-group deployment (all fields keyword-safe)."""
+
+    #: Number of independent consensus groups sharing the runtime.
+    shards: int = 1
+    #: Key→shard scheme: "hash" (salted BLAKE2b, process-stable) or
+    #: "modulo" (integer keys mod shards; transparent placement).
+    router: str = "hash"
+    #: Salt mixed into hash routing; changing it re-partitions the
+    #: keyspace without touching anything else.
+    router_seed: int = 0
+    #: Groups reject commands whose key routes to a different shard
+    #: instead of committing them (counted per group, never silent).
+    reject_misrouted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(f"ShardConfig.shards must be >= 1, got {self.shards}")
+        if self.router not in ROUTER_SCHEMES:
+            raise ConfigError(
+                f"ShardConfig.router must be one of {ROUTER_SCHEMES}, "
+                f"got {self.router!r}"
+            )
+
+    def make_router(self) -> ShardRouter:
+        """The router every party of this topology must share."""
+        return ShardRouter(self.shards, scheme=self.router, seed=self.router_seed)

@@ -1,0 +1,135 @@
+"""Asyncio counterpart of :class:`~repro.shard.cluster.ShardedCluster`.
+
+G independent :class:`~repro.runtime.cluster.LocalCluster` groups on one
+event loop, sharing a single threshold-crypto service (one key setup for
+all same-shape groups) while each keeps its own transport, nodes and
+ledger.  Commands are routed by client identity through the shared
+:class:`~repro.client.router.ShardRouter`; submitting with an explicit
+wrong shard raises instead of committing on the wrong group.
+
+Typical use::
+
+    sharded = ShardedLocalCluster(f=1, shard=ShardConfig(shards=2))
+    async with sharded:
+        await sharded.submit(b"payload", client_id=7)   # routed for you
+        await sharded.wait_for_height(1, shard_id=sharded.shard_of(7))
+"""
+
+from __future__ import annotations
+
+from repro.client.config import ClientConfig
+from repro.client.router import ShardRouter
+from repro.client.runtime import LocalClient
+from repro.common.errors import ConfigError
+from repro.consensus.pipeline import PipelineConfig
+from repro.runtime.cluster import LocalCluster
+from repro.shard.config import ShardConfig
+
+
+class ShardedLocalCluster:
+    """G LocalCluster groups sharing one event loop and one key setup."""
+
+    def __init__(
+        self,
+        f: int = 1,
+        protocol: str = "marlin",
+        shard: ShardConfig | None = None,
+        base_timeout: float = 1.0,
+        seed: int = 0,
+        pipeline: PipelineConfig | None = None,
+        client_config: ClientConfig | None = None,
+    ) -> None:
+        self.shard = shard if shard is not None else ShardConfig()
+        self.router: ShardRouter = self.shard.make_router()
+        # Group 0 builds the (expensive) threshold keys; the rest reuse them.
+        first = LocalCluster(
+            f=f,
+            protocol=protocol,
+            base_timeout=base_timeout,
+            seed=seed,
+            pipeline=pipeline,
+            client_config=client_config,
+        )
+        self.groups: list[LocalCluster] = [first]
+        for shard_id in range(1, self.shard.shards):
+            self.groups.append(
+                LocalCluster(
+                    f=f,
+                    protocol=protocol,
+                    base_timeout=base_timeout,
+                    seed=seed + shard_id,
+                    pipeline=pipeline,
+                    client_config=client_config,
+                    crypto=first.crypto,
+                )
+            )
+
+    @property
+    def shards(self) -> int:
+        return self.shard.shards
+
+    # ------------------------------------------------------------- control
+
+    async def start(self) -> None:
+        for group in self.groups:
+            await group.start()
+
+    async def stop(self) -> None:
+        for group in self.groups:
+            await group.stop()
+
+    async def __aenter__(self) -> "ShardedLocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------- routing
+
+    def shard_of(self, client_id: int) -> int:
+        """The group a client's commands belong to."""
+        return self.router.shard_of_client(client_id)
+
+    def group_for(self, client_id: int) -> LocalCluster:
+        return self.groups[self.shard_of(client_id)]
+
+    # ------------------------------------------------------------- clients
+
+    def client(
+        self, client_id: int, config: ClientConfig | None = None
+    ) -> LocalClient:
+        """A full protocol client bound to the group owning ``client_id``."""
+        return self.group_for(client_id).client(client_id, config)
+
+    async def submit(
+        self, payload: bytes, client_id: int, shard_id: int | None = None
+    ) -> int:
+        """Submit one operation, routed to the owning group by client id.
+
+        Passing an explicit ``shard_id`` that disagrees with the router
+        raises :class:`~repro.common.errors.ConfigError` — a mis-routed
+        command is refused, never silently committed elsewhere.
+        """
+        owner = self.shard_of(client_id)
+        if shard_id is not None and shard_id != owner:
+            raise ConfigError(
+                f"client {client_id} routes to shard {owner}, not {shard_id}; "
+                "misrouted commands are rejected"
+            )
+        return await self.groups[owner].submit(payload, client_id=client_id)
+
+    # ------------------------------------------------------------ queries
+
+    def committed_heights(self) -> list[list[int]]:
+        return [group.committed_heights() for group in self.groups]
+
+    async def wait_for_height(
+        self, height: int, timeout: float = 30.0, shard_id: int | None = None
+    ) -> None:
+        """Wait until one group (or every group) reaches ``height``."""
+        if shard_id is not None:
+            await self.groups[shard_id].wait_for_height(height, timeout=timeout)
+            return
+        for group in self.groups:
+            await group.wait_for_height(height, timeout=timeout)

@@ -26,6 +26,37 @@ class TestAllIsTheContract:
         assert repro.PipelineConfig is repro.api.PipelineConfig
         assert repro.DESCluster is repro.api.DESCluster
         assert repro.LocalCluster is repro.api.LocalCluster
+        assert repro.ShardConfig is repro.api.ShardConfig
+        assert repro.ShardedCluster is repro.api.ShardedCluster
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Node",
+            "ShardConfig",
+            "ShardRouter",
+            "ShardedClosedLoopClients",
+            "ShardedCluster",
+            "ShardedLocalCluster",
+            "restart_replica",
+            "trigger_state_transfer",
+        ],
+    )
+    def test_topology_and_recovery_surface_is_public(self, name):
+        # Churn/scale-out scripts must never need repro.runtime.node or
+        # repro.shard internals: the facade exports the whole surface.
+        assert name in repro.api.__all__
+
+    def test_recovery_helpers_wrap_the_runtime(self):
+        import asyncio
+        import inspect
+
+        assert asyncio.iscoroutinefunction(repro.api.restart_replica)
+        assert not asyncio.iscoroutinefunction(repro.api.trigger_state_transfer)
+        assert list(inspect.signature(repro.api.trigger_state_transfer).parameters) == [
+            "cluster",
+            "replica_id",
+        ]
 
 
 class TestScenarioFacade:
@@ -53,6 +84,25 @@ class TestScenarioFacade:
             )
         )
         assert result.throughput_tps > 0
+
+    def test_validation_errors_name_the_field(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="Scenario.protocol"):
+            Scenario(protocol="paxos")
+        with pytest.raises(ConfigError, match="Scenario.clients"):
+            Scenario(clients=0)
+        with pytest.raises(ConfigError, match="Scenario.crypto"):
+            Scenario(crypto="rot13")
+
+    def test_with_overrides_contract(self):
+        from repro.common.errors import ConfigError
+
+        base = Scenario(protocol="marlin")
+        assert base.with_overrides(f=2).f == 2
+        assert base.with_overrides() == base
+        with pytest.raises(ConfigError, match="no field"):
+            base.with_overrides(protcol="hotstuff")
 
     def test_traced_run_returns_cluster_and_observability(self):
         cluster, obs = traced_run(
