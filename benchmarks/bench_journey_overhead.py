@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: request-journey tracing overhead, guarded.
+
+Runs one fixed normal-case scenario (marlin, f=1, 512 closed-loop
+clients, null crypto, 40 simulated seconds) three ways:
+
+* ``off``      — no observability layer at all (the reference speed);
+* ``sampled``  — a journey recorder tracing a deterministic 1/8 of the
+  client population (the mode ``repro latency`` runs);
+* ``disabled`` — a journey recorder constructed with ``rate=0``, which
+  must short-circuit every layer's plumbing down to nothing.
+
+Three invariants are enforced:
+
+* the **event count is identical** across all three modes — journeys ride
+  the identity ``(client_id, sequence)`` that already travels in every
+  message, so arming the tracer must never change a network event or the
+  simulated schedule;
+* ``sampled`` costs less than ``--journey-tolerance`` (default 10%)
+  events/sec relative to *this run's* ``off`` speed (within-run ratio, so
+  the gate is machine-independent);
+* ``disabled`` costs less than ``--disabled-tolerance`` (default 3%) —
+  effectively zero, the cost of dormant ``None`` checks.
+
+The committed ``benchmarks/BENCH_JOURNEY_OVERHEAD.json`` additionally
+pins the absolute event count; after an intentional scenario change
+regenerate it with::
+
+    python benchmarks/bench_journey_overhead.py --write-baseline
+
+Run:  python benchmarks/bench_journey_overhead.py          (~30 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.harness.des_runtime import DESCluster
+from repro.harness.report import format_table
+from repro.harness.workload import ClosedLoopClients
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_JOURNEY_OVERHEAD.json"
+
+SAMPLE_RATE = 0.125
+
+# The fixed scenario — bench_des_speed's, so the two baselines stay
+# comparable.  Any change invalidates the committed baseline (the guard
+# catches this via the event count).
+SCENARIO = {
+    "protocol": "marlin",
+    "f": 1,
+    "clients": 512,
+    "token_weight": 1,
+    "target": "all",
+    "batch": 400,
+    "base_timeout": 120.0,
+    "max_timeout": 240.0,
+    "seed": 1,
+    "crypto": "null",
+    "warmup": 3.0,
+    "sim_time": 40.0,
+    "sample_rate": SAMPLE_RATE,
+}
+
+MODES = ("off", "sampled", "disabled")
+
+
+def run_once(mode: str) -> tuple[int, float, float, int]:
+    """One timed run; returns (events, sim_seconds, cpu_seconds, journeys)."""
+    cluster_cfg = ClusterConfig.for_f(
+        SCENARIO["f"],
+        batch_size=SCENARIO["batch"],
+        base_timeout=SCENARIO["base_timeout"],
+        max_timeout=SCENARIO["max_timeout"],
+    )
+    experiment = ExperimentConfig(cluster=cluster_cfg, seed=SCENARIO["seed"])
+    observability = None
+    recorder = None
+    if mode != "off":
+        from repro.obs.journey import JourneyRecorder
+        from repro.obs.observer import RunObservability
+
+        rate = SAMPLE_RATE if mode == "sampled" else 0.0
+        recorder = JourneyRecorder(SCENARIO["seed"], rate=rate)
+        observability = RunObservability(
+            trace=False, metrics=False, journey=recorder
+        )
+    cluster = DESCluster(
+        experiment,
+        protocol=SCENARIO["protocol"],
+        crypto_mode=SCENARIO["crypto"],
+        observability=observability,
+    )
+    pool = ClosedLoopClients(
+        cluster,
+        num_clients=SCENARIO["clients"],
+        request_size=150,
+        reply_size=150,
+        token_weight=SCENARIO["token_weight"],
+        target=SCENARIO["target"],
+        warmup=SCENARIO["warmup"],
+    )
+    cluster.start()
+    cluster.sim.schedule(0.01, pool.start)
+    # CPU time, not wall time: shared-runner wall clocks drift 10-15%
+    # between back-to-back identical runs, which would drown a 10% gate.
+    # process_time() is stable to ~1-3%; collecting garbage first keeps
+    # a previous run's freed graph from being collected inside the
+    # timed section.
+    gc.collect()
+    start = time.process_time()
+    cluster.run(until=SCENARIO["sim_time"])
+    wall = time.process_time() - start
+    cluster.assert_safety()
+    journeys = len(recorder) if recorder is not None else 0
+    return cluster.sim.events_processed, cluster.sim.now, wall, journeys
+
+
+def measure_all(rounds: int) -> dict[str, dict]:
+    """Best-of-``rounds`` per mode, rounds interleaved across modes.
+
+    Interleaving (off, sampled, disabled, off, sampled, ...) instead of
+    running each mode's rounds back to back means slow drift in machine
+    speed (thermal, noisy neighbours) hits every mode equally, so the
+    within-run overhead ratios stay honest.
+    """
+    best: dict[str, float] = {}
+    events: dict[str, int] = {}
+    journeys: dict[str, int] = {}
+    for _ in range(rounds):
+        for mode in MODES:
+            ev, _sim_seconds, cpu, nj = run_once(mode)
+            known = events.get(mode)
+            if known is None:
+                events[mode] = ev
+            elif ev != known:
+                raise RuntimeError(f"non-deterministic event count: {ev} != {known}")
+            journeys[mode] = nj
+            if mode not in best or cpu < best[mode]:
+                best[mode] = cpu
+    return {
+        mode: {
+            "events": events[mode],
+            "journeys": journeys[mode],
+            "cpu_seconds": round(best[mode], 4),
+            "events_per_sec": round(events[mode] / best[mode], 1),
+        }
+        for mode in MODES
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timed repetitions per mode (best-of)"
+    )
+    parser.add_argument(
+        "--journey-tolerance", type=float, default=0.10,
+        help="allowed events/sec overhead of sampled tracing "
+             "(fraction vs this run's tracing-off speed, default 0.10)",
+    )
+    parser.add_argument(
+        "--disabled-tolerance", type=float, default=0.03,
+        help="allowed events/sec overhead with tracing constructed but "
+             "disabled (rate=0; default 0.03)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record this run as the new baseline instead of gating",
+    )
+    args = parser.parse_args()
+
+    runs = measure_all(args.rounds)
+    off = runs["off"]
+    rows = []
+    for mode in MODES:
+        run = runs[mode]
+        overhead = 1.0 - run["events_per_sec"] / off["events_per_sec"]
+        rows.append(
+            [
+                mode,
+                f"{run['events']:,}",
+                f"{run['journeys']:,}",
+                f"{run['events_per_sec']:,.0f}",
+                "—" if mode == "off" else f"{overhead * 100:+.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            "journey tracing overhead (marlin, f=1, 512 clients, 40 sim s)",
+            ["mode", "events", "journeys", "events/sec", "overhead"],
+            rows,
+        )
+    )
+
+    if args.write_baseline:
+        baseline = {
+            "scenario": SCENARIO,
+            "events": off["events"],
+            "journeys_sampled": runs["sampled"]["journeys"],
+            "events_per_sec_off": off["events_per_sec"],
+            "events_per_sec_sampled": runs["sampled"]["events_per_sec"],
+            "events_per_sec_disabled": runs["disabled"]["events_per_sec"],
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read baseline {BASELINE_PATH}: {exc}", file=sys.stderr)
+        return 1
+
+    # Exact event-count invariance: across modes within this run, and
+    # against the committed baseline (scenario drift detector).
+    for mode in ("sampled", "disabled"):
+        if runs[mode]["events"] != off["events"]:
+            failures.append(
+                f"{mode} tracing changed the event count: "
+                f"{runs[mode]['events']} != {off['events']} — the journey "
+                "layer must observe the schedule, never steer it"
+            )
+    if off["events"] != baseline["events"]:
+        failures.append(
+            f"event count {off['events']} != baseline {baseline['events']} "
+            "— simulator behaviour changed, regenerate the baseline deliberately"
+        )
+    if runs["sampled"]["journeys"] != baseline["journeys_sampled"]:
+        failures.append(
+            f"sampled journey count {runs['sampled']['journeys']} != baseline "
+            f"{baseline['journeys_sampled']} — sampling is seed-derived and "
+            "must be deterministic"
+        )
+    if runs["disabled"]["journeys"] != 0:
+        failures.append(
+            f"disabled tracing still recorded {runs['disabled']['journeys']} journeys"
+        )
+
+    # Relative (within-run) overhead gates — machine-independent.
+    for mode, cap in (
+        ("sampled", args.journey_tolerance),
+        ("disabled", args.disabled_tolerance),
+    ):
+        overhead = 1.0 - runs[mode]["events_per_sec"] / off["events_per_sec"]
+        print(
+            f"{mode} overhead: {overhead * 100:+.1f}% "
+            f"({runs[mode]['events_per_sec']:,.0f} vs {off['events_per_sec']:,.0f} ev/s, "
+            f"cap {cap * 100:.0f}%)"
+        )
+        if overhead > cap:
+            failures.append(
+                f"{mode} tracing costs {overhead * 100:.1f}% events/sec, "
+                f"over the {cap * 100:.0f}% budget"
+            )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: journey tracing overhead within budget, event counts invariant")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from repro.harness.scenarios import (
     NormalCaseCost,
     ViewChangeCost,
     ViewChangeResult,
+    _latency_breakdown,
     _load_point,
     _peak_throughput,
     _throughput_latency_curve,
@@ -64,6 +65,7 @@ from repro.harness.parallel import ResultCache, SweepExecutor, code_fingerprint
 from repro.harness.workload import ClosedLoopClients, ShardedClosedLoopClients
 from repro.obs.complexity import ComplexityObservatory, SlopeFit
 from repro.obs.flight import FlightRecorder, read_blackbox
+from repro.obs.journey import JourneyRecorder
 from repro.obs.observer import RunObservability
 from repro.runtime.cluster import LocalClient, LocalCluster
 from repro.runtime.node import Node
@@ -81,6 +83,7 @@ __all__ = [
     "DESCluster",
     "ExperimentConfig",
     "FlightRecorder",
+    "JourneyRecorder",
     "LATENCY_CAP",
     "LocalClient",
     "LocalCluster",
@@ -107,6 +110,7 @@ __all__ = [
     "code_fingerprint",
     "complexity_sweep",
     "default_client_sweep",
+    "latency_breakdown",
     "load_point",
     "measure_normal_case_cost",
     "measure_view_change_cost",
@@ -285,6 +289,39 @@ def load_point(scenario: Scenario, *, observability: RunObservability | None = N
         client=scenario.client,
         **_topology_kwargs(scenario),
     )
+
+
+def latency_breakdown(
+    scenario: Scenario, *, sample_rate: float = 1.0
+) -> tuple[RunResult, JourneyRecorder]:
+    """Run one load point with end-to-end request-journey tracing.
+
+    A deterministic, seed-derived ``sample_rate`` fraction of the client
+    population is traced through its full lifecycle (submit → routing →
+    admission → propose → per-phase QCs → commit → execution → reply
+    certificate).  Returns ``(result, recorder)``: ``result.waterfall``
+    carries the per-stage latency decomposition with the stage-sum
+    reconciliation against the end-to-end recorder, and the
+    :class:`JourneyRecorder` keeps the raw journeys for
+    :func:`repro.obs.journey.slowest_journeys` /
+    :func:`repro.obs.journey.write_chrome_trace`.  Works sharded.
+    """
+    result, recorder, _cluster = _latency_breakdown(
+        scenario.protocol,
+        f=scenario.f,
+        clients=scenario.clients,
+        sim_time=scenario.sim_time,
+        warmup=scenario.warmup,
+        seed=scenario.seed,
+        sample_rate=sample_rate,
+        request_size=scenario.request_size,
+        reply_size=scenario.reply_size,
+        crypto=scenario.crypto,
+        client=scenario.client,
+        pipeline=scenario.pipeline,
+        **_topology_kwargs(scenario),
+    )
+    return result, recorder
 
 
 def traced_run(

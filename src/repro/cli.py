@@ -13,6 +13,7 @@ Usage (installed, or ``python -m repro``):
     python -m repro metrics    --protocol marlin --f 1 --json metrics.json
     python -m repro client     --protocol marlin --clients 64 --reads leader-lease
     python -m repro shard      --shards 4 --clients 16384
+    python -m repro latency    --protocol marlin --clients 512 --json waterfall.json
 
 Every command prints a small report; exit code 0 means the run completed
 and passed the safety audit.  ``--log-level debug`` surfaces the
@@ -365,7 +366,12 @@ def _cmd_shard(args: argparse.Namespace) -> None:
         args.f, seed=args.seed, base_timeout=120.0, max_timeout=240.0
     )
     sharded = ShardedCluster(
-        experiment, shard=shard, protocol=args.protocol, crypto_mode="null", audit=True
+        experiment,
+        shard=shard,
+        protocol=args.protocol,
+        crypto_mode="null",
+        audit=True,
+        metrics=bool(args.metrics_out),
     )
     pool = ShardedClosedLoopClients(
         sharded,
@@ -414,10 +420,104 @@ def _cmd_shard(args: argparse.Namespace) -> None:
         f"\naggregate: {ktx(aggregate)} ktx/s  "
         f"lat(mean)={ms(merged.mean())} ms  lat(p99)={ms(merged.p99())} ms"
     )
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            json.dump(sharded.metrics_snapshot(), fh, indent=2, sort_keys=True)
+        log.info("wrote %s", args.metrics_out)
     violations = sharded.audit_violations()
     if violations:
         print(f"online audit: {violations} violation(s)")
         raise SystemExit(1)
+
+
+def _cmd_latency(args: argparse.Namespace) -> None:
+    from repro.api import Scenario, latency_breakdown
+    from repro.obs.journey import slowest_journeys, waterfall_json, write_chrome_trace
+
+    scenario = Scenario(
+        protocol=args.protocol,
+        f=args.f,
+        clients=args.clients,
+        sim_time=args.sim_time,
+        warmup=args.warmup,
+        seed=args.seed,
+        shards=args.shards,
+    )
+    result, recorder = latency_breakdown(scenario, sample_rate=args.sample)
+    waterfall = result.waterfall or {}
+    stages = waterfall.get("stages", {})
+    rows = [
+        [
+            stage,
+            str(int(stats["count"])),
+            ms(stats["mean"]),
+            ms(stats["p50"]),
+            ms(stats["p90"]),
+            ms(stats["p99"]),
+        ]
+        for stage, stats in stages.items()  # already in causal stage order
+    ]
+    print(
+        format_table(
+            f"latency waterfall ({args.protocol}, f={args.f}, "
+            f"{args.clients} clients, sample={args.sample:g})",
+            ["stage", "n", "mean ms", "p50 ms", "p90 ms", "p99 ms"],
+            rows,
+        )
+    )
+    counts = waterfall.get("journeys", {})
+    e2e = waterfall.get("end_to_end", {})
+    print(
+        f"\njourneys: {counts.get('sampled', 0)} sampled, "
+        f"{counts.get('complete', 0)} complete in window, "
+        f"{counts.get('retransmits', 0)} retransmits"
+    )
+    print(
+        f"end-to-end: journey p50 {ms(e2e.get('journey_p50', 0.0))} ms, "
+        f"stage-sum p50 {ms(e2e.get('stage_sum_p50', 0.0))} ms, "
+        f"recorder p50 {ms(e2e.get('recorder_p50', 0.0))} ms"
+        + (f", error {e2e['error'] * 100:.2f}%" if "error" in e2e else "")
+    )
+    slow = slowest_journeys(recorder, args.slowest, window_start=args.warmup)
+    if slow:
+        print(f"\nslowest {len(slow)} request(s):")
+        for (client_id, sequence), total, chain in slow:
+            top = max(
+                (
+                    (stage, end - start)
+                    for (_l, start), (stage, end) in zip(chain, chain[1:])
+                ),
+                key=lambda item: item[1],
+                default=("?", 0.0),
+            )
+            print(
+                f"  client {client_id} seq {sequence}: {ms(total)} ms "
+                f"(worst stage: {top[0]}, {ms(top[1])} ms)"
+            )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(waterfall_json(waterfall))
+        log.info("wrote %s", args.json)
+    if args.chrome_out:
+        write_chrome_trace(
+            args.chrome_out, recorder, k=args.slowest, window_start=args.warmup
+        )
+        log.info("wrote %s", args.chrome_out)
+    if args.check is not None:
+        error = e2e.get("error")
+        if error is None:
+            print("\nreconciliation: FAILED (no end-to-end reference recorded)")
+            raise SystemExit(1)
+        verdict = "OK" if error <= args.check else "FAILED"
+        print(
+            f"\nreconciliation: {verdict} "
+            f"(stage-sum p50 within {error * 100:.2f}% of end-to-end p50, "
+            f"tolerance {args.check * 100:.0f}%)"
+        )
+        if error > args.check:
+            raise SystemExit(1)
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> None:
@@ -629,7 +729,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=16384, help="global client population")
     p.add_argument("--warmup", type=float, default=7.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write per-shard metric views plus the cluster aggregate to this JSON file",
+    )
     p.set_defaults(func=_cmd_shard)
+
+    p = sub.add_parser(
+        "latency", help="request-journey tracing: critical-path latency waterfall"
+    )
+    common(p)
+    p.add_argument("--clients", type=int, default=512)
+    p.add_argument("--warmup", type=float, default=7.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--sample", type=float, default=1.0,
+        help="fraction of clients traced (deterministic, seed-derived)",
+    )
+    p.add_argument("--shards", type=int, default=1, help="consensus groups (G)")
+    p.add_argument("--json", default=None, help="write the waterfall JSON here")
+    p.add_argument(
+        "--chrome-out", default=None,
+        help="write a Chrome trace_event file of the slowest journeys",
+    )
+    p.add_argument(
+        "--slowest", type=int, default=5,
+        help="how many slowest journeys to list/export",
+    )
+    p.add_argument(
+        "--check", type=float, default=None, metavar="TOL",
+        help="exit 1 unless stage-sum p50 reconciles with end-to-end p50 within TOL",
+    )
+    p.set_defaults(func=_cmd_latency)
 
     p = sub.add_parser("fuzz", help="one randomly-adversarial schedule")
     common(p)

@@ -89,6 +89,9 @@ class DESClientEndpoint:
             on_result=on_result,
             rng=random.Random(cluster.experiment.seed * 1_000_003 + client_id),
         )
+        observability = getattr(cluster, "observability", None)
+        if observability is not None:
+            observability.bind_client_session(self.session)
         cluster.network.register(client_id, self.session.on_message)
         cluster.network.set_unshaped(client_id)
 
@@ -126,6 +129,9 @@ class LocalClient:
             cluster.config.f,
             on_result=self._on_result,
         )
+        observability = getattr(cluster, "observability", None)
+        if observability is not None:
+            observability.bind_client_session(self.session)
         cluster.network.register(client_id, self.session.on_message)
 
     def _on_result(self, sequence: int, outcome: Any, latency: float) -> None:

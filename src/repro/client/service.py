@@ -43,6 +43,7 @@ from repro.consensus.messages import (
     ReadReply,
     ReadRequest,
 )
+from repro.obs.journey import CK_EXECUTED
 
 #: maps a committed operation to its result bytes.
 ResultFn = Callable[[Block, Operation], bytes]
@@ -246,6 +247,12 @@ class ClientService:
         self.sessions.record(op.client_id, op.sequence, result, digest)
 
     def _on_commit(self, block: Block, now: float) -> None:
+        # Journey "executed" checkpoint: charged once per request, on the
+        # proposer (the replica whose reply path the client's certificate
+        # clock started from).  Only sampled keys cost anything.
+        journey = getattr(getattr(self.replica, "obs", None), "journey", None)
+        if journey is not None and block.proposer == self.replica.id:
+            journey.record_ops(block.operations, CK_EXECUTED, now)
         for op in block.operations:
             key = (op.client_id, op.sequence)
             weight = self._inflight.pop(key, None)

@@ -33,6 +33,8 @@ from repro.common.encoding import encode
 from repro.consensus.context import NodeContext
 from repro.consensus.messages import ClientReply, ClientRequest, ReadReply, ReadRequest
 from repro.crypto.hashing import digest_of
+from repro.obs.flight import EV_CERTIFIED, EV_RETRANSMIT, EV_SUBMIT
+from repro.obs.journey import CK_CERTIFIED, CK_RETRANSMIT, CK_ROUTED, CK_SUBMIT
 
 
 def make_command(client_id: int, sequence: int, op: bytes) -> bytes:
@@ -93,6 +95,13 @@ class ClientSession:
         self.tracker = LeaderTracker(num_replicas, shard=self.shard)
         self.rng = rng if rng is not None else random.Random(0xC11E57 ^ client_id)
 
+        # Optional run-level collectors, wired by the runtime binding
+        # (see RunObservability.bind_client_session).  ``journey`` is set
+        # only when this client id is sampled, so the per-request cost of
+        # tracing is a None check on unsampled sessions.
+        self.journey: Any | None = None
+        self.flight: Any | None = None
+
         self._next_seq = 1
         #: seq -> outstanding write (retransmitted verbatim on timeout).
         self.inflight: dict[int, ClientRequest] = {}
@@ -121,7 +130,14 @@ class ClientSession:
             client_id=self.client_id, sequence=seq, payload=op, weight=self.weight
         )
         self.inflight[seq] = request
-        self._submitted_at[seq] = self.ctx.now
+        now = self.ctx.now
+        self._submitted_at[seq] = now
+        if self.journey is not None:
+            self.journey.record(self.client_id, seq, CK_SUBMIT, now)
+            if self.shard is not None:
+                self.journey.record(self.client_id, seq, CK_ROUTED, now)
+        if self.flight is not None:
+            self.flight.record(now, EV_SUBMIT, -1, detail=str(seq))
         self._dispatch(request)
         self._arm_timer()
         return seq
@@ -188,6 +204,10 @@ class ClientSession:
         self.inflight.pop(reply.sequence, None)
         self.tracker.on_certified(certificate.view)
         self.certified += 1
+        if self.journey is not None:
+            self.journey.record(self.client_id, reply.sequence, CK_CERTIFIED, self.ctx.now)
+        if self.flight is not None:
+            self.flight.record(self.ctx.now, EV_CERTIFIED, -1, detail=str(reply.sequence))
         self._finish(reply.sequence, certificate)
 
     def _on_read_reply(self, reply: ReadReply) -> None:
@@ -230,9 +250,14 @@ class ClientSession:
         if not self.inflight and not self.inflight_reads:
             return
         self.tracker.on_timeout()
+        now = self.ctx.now
         for request in self.inflight.values():
             self._send_all(request)
             self.retransmits += 1
+            if self.journey is not None:
+                self.journey.record(self.client_id, request.sequence, CK_RETRANSMIT, now)
+            if self.flight is not None:
+                self.flight.record(now, EV_RETRANSMIT, -1, detail=str(request.sequence))
         for read in self.inflight_reads.values():
             self._send_all(read)
             self.retransmits += 1

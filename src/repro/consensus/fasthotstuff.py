@@ -65,6 +65,7 @@ class FastHotStuffReplica(MarlinReplica):
         self.stats["proposals_sent"] += 1
         self.obs.view_change_event("agg-new-view", view, proofs=len(messages))
         self.obs.block_proposed(block.digest, view, block.height)
+        self.obs.ops_proposed(block)
         self.obs.phase_begin(block.digest, "prepare", view, block.height)
         self.ctx.broadcast(
             AggregateNewView(

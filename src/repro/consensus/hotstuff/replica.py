@@ -165,6 +165,7 @@ class HotStuffReplica(ReplicaBase):
         self.stats["proposals_sent"] += 1
         self._note_proposed(block.digest)
         self.obs.block_proposed(block.digest, self.cview, block.height)
+        self.obs.ops_proposed(block)
         self.obs.phase_begin(block.digest, "prepare", self.cview, block.height)
         self.ctx.broadcast(
             PhaseMsg(phase=Phase.PREPARE, view=self.cview, justify=Justify(qc), block=block)

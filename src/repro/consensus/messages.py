@@ -306,6 +306,11 @@ class ClientRequestBatch:
     One message stands for ``sum(op.weight)`` logical client requests; its
     wire size is the sum of the individual request sizes, so the bandwidth
     model sees exactly the traffic the paper's clients generate.
+
+    Journey tracing (``repro.obs.journey``) adds **nothing** here: its
+    trace context is each operation's existing ``(client_id, sequence)``
+    identity, and the sample bit is derived from it (seeded CRC), so a
+    traced run's wire traffic is byte-identical to an untraced one.
     """
 
     operations: tuple[Operation, ...]

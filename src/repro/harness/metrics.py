@@ -61,8 +61,25 @@ class LatencyRecorder:
     def p50(self) -> float:
         return self._weighted_percentile(50.0)
 
+    def p90(self) -> float:
+        return self._weighted_percentile(90.0)
+
     def p99(self) -> float:
         return self._weighted_percentile(99.0)
+
+    def p999(self) -> float:
+        return self._weighted_percentile(99.9)
+
+    def summary(self) -> dict[str, float]:
+        """The standard percentile readout as one plain dict."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p90": self.p90(),
+            "p99": self.p99(),
+            "p999": self.p999(),
+        }
 
     def reset(self) -> None:
         self.samples.clear()
@@ -116,6 +133,13 @@ class RunResult:
     shards: int = 1
     #: Per-shard committed throughput when ``shards > 1``.
     per_shard_tps: list[float] | None = None
+    #: Tail percentiles beyond p99 (0.0 when the run recorded no samples).
+    p90_latency: float = 0.0
+    p999_latency: float = 0.0
+    #: Latency waterfall from the journey layer ({stages, end_to_end,
+    #: journeys, ...} — see :func:`repro.obs.journey.build_waterfall`),
+    #: populated when the run carried a journey recorder.
+    waterfall: dict | None = None
 
     def as_row(self) -> str:
         return (

@@ -186,7 +186,16 @@ def _load_point_ex(
         blocks_committed=max(r.stats["blocks_committed"] for r in cluster.replicas),
         sim_time=sim_time,
         phase_latency=phase_latency,
+        p90_latency=clients_pool.latency.p90(),
+        p999_latency=clients_pool.latency.p999(),
     )
+    journey = getattr(observability, "journey", None)
+    if journey is not None:
+        from repro.obs.journey import build_waterfall
+
+        result.waterfall = build_waterfall(
+            journey, end_to_end=clients_pool.latency, window_start=warmup
+        )
     return result, cluster
 
 
@@ -214,17 +223,24 @@ def _sharded_load_point(
     from repro.shard.cluster import ShardedCluster
     from repro.harness.workload import ShardedClosedLoopClients
 
-    if observability is not None:
+    # Registries, tracers and flight rings are per-group; the one
+    # observability shape a sharded load point accepts is a bare journey
+    # recorder, which is shared across groups by design (journey keys
+    # are globally unique).
+    if observability is not None and not observability.journey_only():
         raise ConfigError(
             "observability collectors are per-group on a sharded run; "
-            "drop observability or set shard.shards == 1"
+            "drop observability (journey-only layers are allowed) or set "
+            "shard.shards == 1"
         )
+    journey = observability.journey if observability is not None else None
     sharded = ShardedCluster(
         experiment,
         shard=shard,
         protocol=protocol,
         crypto_mode=crypto,
         pipeline=pipeline,
+        journey=journey,
     )
     pool = ShardedClosedLoopClients(
         sharded,
@@ -261,8 +277,67 @@ def _sharded_load_point(
         sim_time=sim_time,
         shards=shard.shards,
         per_shard_tps=per_shard_tps,
+        p90_latency=latency.p90(),
+        p999_latency=latency.p999(),
     )
+    if journey is not None:
+        from repro.obs.journey import build_waterfall
+
+        result.waterfall = build_waterfall(
+            journey, end_to_end=latency, window_start=warmup
+        )
     return result, sharded
+
+
+def _latency_breakdown(
+    protocol: str = "marlin",
+    f: int = 1,
+    clients: int = 512,
+    sim_time: float = 22.0,
+    warmup: float = 7.0,
+    seed: int = 1,
+    sample_rate: float = 1.0,
+    request_size: int = 150,
+    reply_size: int = 150,
+    crypto: str = "null",
+    client=None,
+    cluster=None,
+    shard=None,
+    pipeline=None,
+):
+    """One load point with request-journey tracing armed.
+
+    Runs :func:`_load_point_ex` carrying a journey-only observability
+    layer — a seed-derived deterministic sample of the client population
+    gets every lifecycle checkpoint recorded (submit → routed → admitted
+    → proposed → qc → committed → executed → certified) — and returns
+    ``(result, recorder, cluster)``.  ``result.waterfall`` holds the
+    critical-path decomposition; the recorder keeps the raw journeys for
+    Chrome-trace export and slowest-request inspection.  Works sharded
+    (``shard.shards > 1``): the one recorder is shared across groups.
+    """
+    from repro.obs.journey import JourneyRecorder
+    from repro.obs.observer import RunObservability
+
+    recorder = JourneyRecorder(seed, rate=sample_rate)
+    observability = RunObservability(trace=False, metrics=False, journey=recorder)
+    result, finished = _load_point_ex(
+        protocol,
+        f,
+        clients,
+        sim_time=sim_time,
+        warmup=warmup,
+        request_size=request_size,
+        reply_size=reply_size,
+        seed=seed,
+        observability=observability,
+        pipeline=pipeline,
+        crypto=crypto,
+        client=client,
+        cluster=cluster,
+        shard=shard,
+    )
+    return result, recorder, finished
 
 
 def _traced_scenario(
@@ -603,6 +678,8 @@ def rotating_leader_throughput(
         p99_latency=summary["p99_latency"],
         blocks_committed=max(r.stats["blocks_committed"] for r in cluster.replicas),
         sim_time=sim_time,
+        p90_latency=pool.latency.p90(),
+        p999_latency=pool.latency.p999(),
     )
 
 

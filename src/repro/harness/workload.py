@@ -33,6 +33,7 @@ from repro.consensus.messages import ClientRequestBatch, ReplyBatch
 from repro.consensus.replica_base import ReplicaBase
 from repro.harness.des_runtime import DESCluster
 from repro.harness.metrics import LatencyRecorder, ThroughputMeter
+from repro.obs.journey import CK_CERTIFIED, CK_EXECUTED, CK_ROUTED, CK_SUBMIT
 
 
 def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
@@ -40,6 +41,7 @@ def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
     every commit (shared by the open- and closed-loop generators)."""
     hub_id = pool.hub_id
     reply_size = pool.reply_size
+    journey = getattr(pool, "_journey", None)
     # Blocks travel by reference in the DES, so every replica commits the
     # *same* Block object; memoize its op-key and result-digest tuples on
     # the pool so the n-replica fan-in builds them once instead of n
@@ -61,6 +63,11 @@ def _attach_reply_sender(pool, replica: ReplicaBase) -> None:
     def on_commit(block: Block, when: float) -> None:
         if not block.operations:
             return
+        # The hub model has no application: "executed" is the moment the
+        # proposing replica turns the commit into replies — recorded from
+        # the proposer only, so each journey gets the checkpoint once.
+        if journey is not None and block.proposer == replica.id:
+            journey.record_ops(block.operations, CK_EXECUTED, when)
         keys, digests = keys_and_digests_of(block)
         batch = ReplyBatch(
             replica=replica.id,
@@ -237,6 +244,7 @@ class ClosedLoopClients:
         mode: str = "hub",
         client_config: ClientConfig | None = None,
         client_ids: list[int] | None = None,
+        shard: int | None = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigError("need at least one client")
@@ -247,6 +255,11 @@ class ClosedLoopClients:
         if mode not in ("hub", "real"):
             raise ConfigError("mode must be 'hub' or 'real'")
         self.cluster = cluster
+        #: Shard this pool's clients were routed to (None = unsharded);
+        #: journeys then carry an explicit "routed" checkpoint.
+        self.shard = shard
+        journey = getattr(cluster.observability, "journey", None)
+        self._journey = journey if journey is not None and journey.enabled else None
         experiment = cluster.experiment
         self.request_size = experiment.request_size if request_size is None else request_size
         self.reply_size = experiment.reply_size if reply_size is None else reply_size
@@ -271,6 +284,14 @@ class ClosedLoopClients:
                     f"{self.num_tokens} tokens"
                 )
             self.client_ids = list(client_ids)
+        # Journey sampling, resolved once: the population is fixed, so
+        # the per-op question "is this client traced?" is a set lookup.
+        journey = self._journey
+        self._sampled_ids = (
+            frozenset(cid for cid in self.client_ids if journey.sampled(cid))
+            if journey is not None
+            else frozenset()
+        )
 
         self.latency = LatencyRecorder(window_start=warmup)
         self.throughput = ThroughputMeter(window_start=warmup)
@@ -347,7 +368,15 @@ class ClosedLoopClients:
             client_id=client_id, sequence=seq, payload=self._payload,
             weight=self.token_weight,
         )
-        self._submit_time[op._key] = self.cluster.sim.now
+        now = self.cluster.sim.now
+        self._submit_time[op._key] = now
+        if client_id in self._sampled_ids:
+            journey = self._journey
+            journey.record(client_id, seq, CK_SUBMIT, now)
+            if self.shard is not None:
+                # Hub routing is the router's partition — instantaneous,
+                # but the checkpoint pins the journey to its shard.
+                journey.record(client_id, seq, CK_ROUTED, now)
         return op
 
     def _submit(self, ops: list[Operation]) -> None:
@@ -375,6 +404,8 @@ class ClosedLoopClients:
         record_latency = self.latency.record
         record_throughput = self.throughput.record
         new_op = self._new_op
+        journey = self._journey
+        sampled_ids = self._sampled_ids
         fresh: list[Operation] = []
         for key in payload.op_keys:
             submitted = submit_time.get(key)
@@ -388,6 +419,8 @@ class ClosedLoopClients:
             acks.pop(key, None)
             record_latency(now, now - submitted, weight=weight)
             record_throughput(now, weight)
+            if key[0] in sampled_ids:
+                journey.record(key[0], key[1], CK_CERTIFIED, now)
             fresh.append(new_op(key[0]))
         self._submit(fresh)
 
@@ -429,6 +462,21 @@ class ClosedLoopClients:
             "p50_latency": self.latency.p50(),
             "p99_latency": self.latency.p99(),
         }
+
+    def stats(self) -> dict[str, Any]:
+        """:meth:`summary` plus tail percentiles and client-path counters."""
+        out: dict[str, Any] = dict(self.summary())
+        out["p90_latency"] = self.latency.p90()
+        out["p999_latency"] = self.latency.p999()
+        out["latency"] = self.latency.summary()
+        out["completed_ops"] = self.completed_ops
+        if self.mode == "real":
+            out["retransmits"] = self.retransmits
+            out["certified"] = self.certified
+            out["shed"] = self.shed
+            out["replays"] = self.replays
+            out["reply_mismatches"] = self.reply_mismatches
+        return out
 
 
 class ShardedClosedLoopClients:
@@ -490,6 +538,7 @@ class ShardedClosedLoopClients:
                     mode=mode,
                     client_config=client_config,
                     client_ids=sub_ids,
+                    shard=shard_id,
                 )
             )
 
@@ -530,3 +579,13 @@ class ShardedClosedLoopClients:
             "per_shard_tps": per_shard,
             "misrouted_rejected": self.sharded.misrouted_rejected,
         }
+
+    def stats(self) -> dict[str, Any]:
+        """:meth:`summary` plus tail percentiles over the merged samples."""
+        out: dict[str, Any] = dict(self.summary())
+        latency = self.merged_latency()
+        out["p90_latency"] = latency.p90()
+        out["p999_latency"] = latency.p999()
+        out["latency"] = latency.summary()
+        out["completed_ops"] = self.completed_ops
+        return out

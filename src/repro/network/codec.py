@@ -11,6 +11,14 @@ canonical-encodable structures (lists/dicts/ints/bytes).  QC signatures
 are a tagged union covering every crypto service's artifact
 (threshold signature, partial signature, conventional signature,
 multi-signature bundle, null tokens, and the genesis ``None``).
+
+There is deliberately no trace-context field anywhere in this format.
+Request-journey tracing (:mod:`repro.obs.journey`) keys on the
+``(client_id, sequence)`` pair already present in every operation,
+request, and reply, and derives the per-client sample bit from the run
+seed — so a traced run and an untraced run produce byte-identical
+wire traffic, and the encoding never needs versioning for
+observability's sake.
 """
 
 from __future__ import annotations

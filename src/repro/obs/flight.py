@@ -32,6 +32,12 @@ EV_VIEW_CHANGE = "vc"
 EV_COMMIT = "commit"
 EV_ADMIT = "admit"
 EV_SYNC = "sync"
+# Client-path events (recorded by ClientSession when a run hands the
+# session a flight ring) — a black box then embeds the client side of a
+# violation window next to the replicas' protocol events.
+EV_SUBMIT = "submit"
+EV_RETRANSMIT = "retransmit"
+EV_CERTIFIED = "certified"
 
 
 class FlightEvent(NamedTuple):

@@ -235,6 +235,28 @@ class MetricsRegistry:
                 metric.merge_into(target)
         return merged
 
+    def merge_from(self, other: "MetricsRegistry", **extra_labels: Any) -> "MetricsRegistry":
+        """Fold another registry's series into this one, in place.
+
+        ``extra_labels`` are added to every imported series — the sharded
+        cluster view merges each group's registry with ``shard=<gid>`` so
+        identically named per-group series stay distinguishable.  Returns
+        ``self`` for chaining.
+        """
+        for (name, labels), metric in other._sorted_items():
+            kind, help_text = other._families[name]
+            merged = dict(labels)
+            merged.update(extra_labels)
+            if kind == "counter":
+                self.counter(name, help_text, **merged).inc(metric.value)
+            elif kind == "gauge":
+                self.gauge(name, help_text, **merged).inc(metric.value)
+            else:
+                assert isinstance(metric, Histogram)
+                target = self.histogram(name, help_text, buckets=metric.buckets, **merged)
+                metric.merge_into(target)
+        return self
+
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 

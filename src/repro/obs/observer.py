@@ -31,6 +31,13 @@ from repro.obs.flight import (
     FlightRecorder,
     write_blackbox,
 )
+from repro.obs.journey import (
+    CK_ADMITTED,
+    CK_COMMITTED,
+    CK_PROPOSED,
+    CK_QC_PREFIX,
+    JourneyRecorder,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, NetworkMetrics
 from repro.obs.tracer import LANE_VIEW, NullTracer, Span, Tracer
 
@@ -60,6 +67,8 @@ class NullReplicaObs:
     def sync_requested(self, attempt: int) -> None: ...
 
     def block_proposed(self, digest: bytes, view: int, height: int) -> None: ...
+
+    def ops_proposed(self, block: Any) -> None: ...
 
     def phase_begin(self, digest: bytes, phase: str, view: int, height: int | None = None) -> None: ...
 
@@ -332,6 +341,12 @@ class FlightRecordingObs(NullReplicaObs):
         if self._inner_enabled:
             self._inner.block_proposed(digest, view, height)
 
+    def ops_proposed(self, block: Any) -> None:
+        # Not recorded: the ring keys on the block digest (EV_PROPOSE),
+        # per-op attribution is the journey layer's job.
+        if self._inner_enabled:
+            self._inner.ops_proposed(block)
+
     def phase_begin(self, digest: bytes, phase: str, view: int, height: int | None = None) -> None:
         now = self._now()
         h = -1 if height is None else height
@@ -372,6 +387,112 @@ class FlightRecordingObs(NullReplicaObs):
             self._inner.client_admitted(client_id, sequence)
 
 
+class JourneyObs(NullReplicaObs):
+    """Observer that pins block-path checkpoints onto sampled journeys.
+
+    Wraps an inner observer exactly like :class:`FlightRecordingObs`, so
+    journeys compose with metrics, spans, and the flight ring in one
+    ``attach_observer`` call.  Only the **proposing** replica learns the
+    digest→sampled-ops mapping (via the :meth:`ops_proposed` hook, which
+    fires where the full block is in scope), so phase/commit checkpoints
+    are recorded exactly once per request — on the leader's critical
+    path — even though every replica carries this observer.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, inner: NullReplicaObs, journey: "JourneyRecorder", replica_id: int
+    ) -> None:
+        self._inner = inner
+        self._inner_enabled = inner.enabled
+        #: The run's shared :class:`~repro.obs.journey.JourneyRecorder`
+        #: (``ClientService`` reads it off ``replica.obs`` for the
+        #: executed-at-proposer checkpoint).
+        self.journey = journey
+        self.replica = replica_id
+        #: digest -> sampled op keys of blocks *this* replica proposed.
+        self._block_keys: dict[bytes, list[tuple[int, int]]] = {}
+        self._now = lambda: 0.0
+
+    def bind(self, ctx: Any) -> None:
+        self._now = lambda: ctx.now
+        self._inner.bind(ctx)
+
+    # Hot path: journeys key on semantic events only.
+    def message_handled(self, payload: Any) -> None:
+        if self._inner_enabled:
+            self._inner.message_handled(payload)
+
+    def vote_sent(self, phase: Any) -> None:
+        if self._inner_enabled:
+            self._inner.vote_sent(phase)
+
+    def view_entered(self, view: int, reason: str) -> None:
+        if self._inner_enabled:
+            self._inner.view_entered(view, reason)
+
+    def view_timeout(self, view: int) -> None:
+        if self._inner_enabled:
+            self._inner.view_timeout(view)
+
+    def view_change_event(self, name: str, view: int, **meta: Any) -> None:
+        if self._inner_enabled:
+            self._inner.view_change_event(name, view, **meta)
+
+    def view_change_done(self, view: int) -> None:
+        if self._inner_enabled:
+            self._inner.view_change_done(view)
+
+    def sync_requested(self, attempt: int) -> None:
+        if self._inner_enabled:
+            self._inner.sync_requested(attempt)
+
+    def block_proposed(self, digest: bytes, view: int, height: int) -> None:
+        if self._inner_enabled:
+            self._inner.block_proposed(digest, view, height)
+
+    def ops_proposed(self, block: Any) -> None:
+        operations = getattr(block, "operations", None)
+        if operations:
+            keys = self.journey.sampled_keys(operations)
+            if keys:
+                self._block_keys[block.digest] = keys
+                self.journey.record_keys(keys, CK_PROPOSED, self._now())
+        if self._inner_enabled:
+            self._inner.ops_proposed(block)
+
+    def phase_begin(self, digest: bytes, phase: str, view: int, height: int | None = None) -> None:
+        if self._inner_enabled:
+            self._inner.phase_begin(digest, phase, view, height)
+
+    def phase_end(self, digest: bytes, phase: str) -> None:
+        if self._inner_enabled:
+            self._inner.phase_end(digest, phase)
+
+    def qc_formed(self, digest: bytes, phase: str, view: int, qc: Any = None) -> None:
+        keys = self._block_keys.get(digest)
+        if keys:
+            self.journey.record_keys(keys, CK_QC_PREFIX + phase, self._now())
+        if self._inner_enabled:
+            self._inner.qc_formed(digest, phase, view, qc)
+
+    def block_committed(
+        self, digest: bytes, height: int, num_ops: int, view: int = -1
+    ) -> None:
+        keys = self._block_keys.pop(digest, None)
+        if keys:
+            self.journey.record_keys(keys, CK_COMMITTED, self._now())
+        if self._inner_enabled:
+            self._inner.block_committed(digest, height, num_ops, view)
+
+    def client_admitted(self, client_id: int, sequence: int) -> None:
+        if self.journey.sampled(client_id):
+            self.journey.record(client_id, sequence, CK_ADMITTED, self._now())
+        if self._inner_enabled:
+            self._inner.client_admitted(client_id, sequence)
+
+
 class RunObservability:
     """One registry + tracer + network counters for a whole cluster run.
 
@@ -380,7 +501,12 @@ class RunObservability:
     :class:`OnlineAuditor` (and implies ``flight``).  ``metrics=False``
     skips the per-replica metrics/span observer so a flight-only run
     pays just the ring append per event — the mode the DES speed
-    benchmark's overhead guard measures.
+    benchmark's overhead guard measures.  ``journey`` takes a
+    :class:`~repro.obs.journey.JourneyRecorder`: every replica observer
+    is then wrapped in a :class:`JourneyObs` feeding that one shared
+    recorder, and client layers (:class:`~repro.client.session.ClientSession`
+    via :meth:`bind_client_session`, the workload pools) record the
+    client-side checkpoints into it.
     """
 
     def __init__(
@@ -390,6 +516,7 @@ class RunObservability:
         audit: bool = False,
         metrics: bool = True,
         flight_capacity: int = 4096,
+        journey: JourneyRecorder | None = None,
     ) -> None:
         self.registry = MetricsRegistry()
         self.tracer: Tracer = Tracer() if trace else NullTracer()
@@ -401,6 +528,25 @@ class RunObservability:
         self.auditor: OnlineAuditor | None = OnlineAuditor() if audit else None
         if self.auditor is not None:
             self.auditor.recorders = self.recorders
+        self.journey = journey if journey is not None and journey.enabled else None
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return self._metrics_enabled
+
+    def journey_only(self) -> bool:
+        """True when this layer carries nothing but a journey recorder.
+
+        The one observability shape a sharded run accepts: the recorder
+        is shared across groups (journey keys are globally unique), while
+        registries/tracers/rings are inherently per-group.
+        """
+        return (
+            self.journey is not None
+            and not self._metrics_enabled
+            and not self.flight
+            and isinstance(self.tracer, NullTracer)
+        )
 
     def replica_obs(self, replica_id: int, protocol: str) -> NullReplicaObs:
         inner: NullReplicaObs = (
@@ -408,11 +554,41 @@ class RunObservability:
             if self._metrics_enabled
             else NULL_OBS
         )
-        if not self.flight:
-            return inner
-        recorder = FlightRecorder(replica_id, self.flight_capacity)
-        self.recorders[replica_id] = recorder
-        return FlightRecordingObs(inner, recorder, self.auditor)
+        if self.flight:
+            recorder = FlightRecorder(replica_id, self.flight_capacity)
+            self.recorders[replica_id] = recorder
+            inner = FlightRecordingObs(inner, recorder, self.auditor)
+        if self.journey is not None:
+            inner = JourneyObs(inner, self.journey, replica_id)
+        return inner
+
+    def client_recorder(self, endpoint_id: int) -> FlightRecorder:
+        """A flight ring for one client endpoint, included in black boxes.
+
+        Client endpoint ids start above the replica range, so the rings
+        share the ``recorders`` map (and therefore every
+        :meth:`write_blackbox` dump) without collisions.
+        """
+        recorder = self.recorders.get(endpoint_id)
+        if recorder is None:
+            recorder = FlightRecorder(endpoint_id, self.flight_capacity)
+            self.recorders[endpoint_id] = recorder
+        return recorder
+
+    def bind_client_session(self, session: Any) -> None:
+        """Wire one protocol client session into this run's collectors.
+
+        Gives the session the journey recorder when its client id is
+        sampled (the session then records submit/retransmit/certified
+        checkpoints) and, when the flight layer is armed, a client-path
+        flight ring so black-box dumps embed the client side of a
+        violation window.
+        """
+        journey = self.journey
+        if journey is not None and journey.sampled(session.client_id):
+            session.journey = journey
+        if self.flight:
+            session.flight = self.client_recorder(session.client_id)
 
     def finish(self, ts: float) -> None:
         self.tracer.finish(ts)

@@ -77,6 +77,8 @@ class ShardedCluster:
         pipeline: PipelineConfig | None = None,
         audit: bool = False,
         observe_complexity: bool = False,
+        metrics: bool = False,
+        journey: Any | None = None,
     ) -> None:
         self.experiment = experiment
         self.shard = shard if shard is not None else ShardConfig()
@@ -84,15 +86,23 @@ class ShardedCluster:
         self.router: ShardRouter = self.shard.make_router()
         self.sim = Simulator(seed=experiment.seed)
         cluster = experiment.cluster
+        self.journey = journey
         # One key setup for all G same-shape groups.
         self.crypto = DESCluster._make_crypto(
             crypto_mode, cluster.num_replicas, cluster.quorum
         )
         self.groups: list[ShardGroup] = []
         for shard_id in range(self.shard.shards):
+            # One RunObservability per group (so metric label spaces and
+            # auditors stay group-local), but a single shared journey
+            # recorder across all of them — (client, seq) keys are
+            # globally unique, and one request's checkpoints must land in
+            # one place regardless of which group served it.
             observability = (
-                RunObservability(trace=False, metrics=False, audit=True)
-                if audit
+                RunObservability(
+                    trace=False, metrics=metrics, audit=audit, journey=journey
+                )
+                if audit or metrics or journey is not None
                 else None
             )
             group = ShardGroup(shard_id=shard_id, cluster=None)  # type: ignore[arg-type]
@@ -234,6 +244,33 @@ class ShardedCluster:
             for row in group.cluster.commit_trace():
                 trace.append([group.shard_id, *row])
         return trace
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Per-shard metric views plus the cluster-wide aggregate.
+
+        ``shards`` maps each shard id to its group registry's snapshot —
+        per-group label spaces never mix, which is what keeps identically
+        named series (every group has ``blocks_committed_total``) from
+        colliding.  ``cluster`` is the one merged view: every group's
+        series imported under an extra ``shard=<gid>`` label, then
+        aggregated with ``shard``/``replica`` dropped, so each cluster
+        series is exactly the sum of the per-shard ones.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        shards: dict[str, Any] = {}
+        combined = MetricsRegistry()
+        for group in self.groups:
+            observability = group.observability
+            if observability is None or not observability.metrics_enabled:
+                continue
+            registry = observability.registry
+            shards[str(group.shard_id)] = registry.snapshot()
+            combined.merge_from(registry, shard=group.shard_id)
+        return {
+            "shards": shards,
+            "cluster": combined.aggregate(drop_labels=("shard", "replica")).snapshot(),
+        }
 
     def audit_reports(self) -> list[dict[str, Any]]:
         """One online-audit report per group (empty when not audited)."""

@@ -1,0 +1,149 @@
+"""Per-group metrics isolation on the sharded runtime.
+
+Each :class:`ShardGroup` owns its own :class:`MetricsRegistry` — replica
+ids repeat across groups, so sharing one registry would silently merge
+different replicas' series under one label set.  These tests pin the
+isolation (same metric names, independent values per group) and the
+cluster roll-up: ``ShardedCluster.metrics_snapshot()`` re-labels every
+group's series with ``shard=<gid>`` and folds them into one aggregate
+whose totals equal the per-group sums exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main as cli_main
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.harness.workload import ShardedClosedLoopClients
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import ShardConfig, ShardedCluster
+
+
+def _experiment(seed: int = 3) -> ExperimentConfig:
+    cluster = ClusterConfig.for_f(1, base_timeout=120.0, max_timeout=240.0)
+    return ExperimentConfig(cluster=cluster, seed=seed)
+
+
+def _counter_total(snapshot: dict, name: str) -> float:
+    return sum(s["value"] for s in snapshot["counters"].get(name, []))
+
+
+def _run_sharded(shards: int = 2) -> ShardedCluster:
+    sharded = ShardedCluster(
+        _experiment(), shard=ShardConfig(shards=shards), metrics=True
+    )
+    pool = ShardedClosedLoopClients(sharded, num_clients=128, token_weight=4)
+    sharded.start()
+    sharded.sim.schedule(0.01, pool.start)
+    sharded.run(until=6.0)
+    sharded.assert_safety()
+    return sharded
+
+
+class TestMergeFrom:
+    def test_counters_gauges_histograms(self):
+        source = MetricsRegistry()
+        source.counter("requests_total", "reqs", replica=0).inc(5)
+        source.gauge("depth", "queue depth", replica=0).inc(3)
+        source.histogram("lat", "latency", buckets=(0.1, 1.0), replica=0).observe(0.05)
+        target = MetricsRegistry()
+        target.merge_from(source, shard=7)
+        snap = target.snapshot()
+        [series] = snap["counters"]["requests_total"]
+        assert series["labels"] == {"replica": "0", "shard": "7"}
+        assert series["value"] == 5
+        [gauge] = snap["gauges"]["depth"]
+        assert gauge["value"] == 3
+        [hist] = snap["histograms"]["lat"]
+        assert hist["count"] == 1
+        assert hist["labels"] == {"replica": "0", "shard": "7"}
+
+    def test_merge_sums_into_existing_series(self):
+        a = MetricsRegistry()
+        a.counter("ops_total", "", replica=0).inc(2)
+        b = MetricsRegistry()
+        b.counter("ops_total", "", replica=0).inc(3)
+        target = MetricsRegistry()
+        target.merge_from(a, shard=0).merge_from(b, shard=0)
+        assert _counter_total(target.snapshot(), "ops_total") == 5
+
+
+class TestShardedRegistryIsolation:
+    def test_groups_get_disjoint_registries(self):
+        sharded = _run_sharded()
+        registries = [g.observability.registry for g in sharded.groups]
+        assert len({id(r) for r in registries}) == len(registries)
+        # The same metric names and replica labels exist in every group
+        # — only separate registries keep those series from colliding.
+        snaps = [r.snapshot() for r in registries]
+        for snap in snaps:
+            assert "replica_blocks_committed_total" in snap["counters"]
+        labels0 = {
+            tuple(sorted(s["labels"].items()))
+            for s in snaps[0]["counters"]["replica_blocks_committed_total"]
+        }
+        labels1 = {
+            tuple(sorted(s["labels"].items()))
+            for s in snaps[1]["counters"]["replica_blocks_committed_total"]
+        }
+        assert labels0 == labels1  # identical label space per group...
+        committed = [
+            _counter_total(snap, "replica_ops_committed_total") for snap in snaps
+        ]
+        assert all(c > 0 for c in committed)  # ...but independent values
+
+    def test_snapshot_aggregate_equals_per_group_sum(self):
+        sharded = _run_sharded()
+        snapshot = sharded.metrics_snapshot()
+        assert set(snapshot["shards"]) == {"0", "1"}
+        for name in (
+            "replica_ops_committed_total",
+            "replica_blocks_committed_total",
+            "replica_messages_handled_total",
+            "net_messages_sent_total",
+        ):
+            per_group = sum(
+                _counter_total(shard_snap, name)
+                for shard_snap in snapshot["shards"].values()
+            )
+            assert _counter_total(snapshot["cluster"], name) == per_group
+            assert per_group > 0
+
+    def test_cluster_view_drops_shard_and_replica_labels(self):
+        sharded = _run_sharded()
+        cluster_snap = sharded.metrics_snapshot()["cluster"]
+        for series_list in cluster_snap["counters"].values():
+            for series in series_list:
+                assert "shard" not in series["labels"]
+                assert "replica" not in series["labels"]
+
+    def test_metrics_off_by_default(self):
+        sharded = ShardedCluster(_experiment(), shard=ShardConfig(shards=2))
+        assert sharded.metrics_snapshot() == {"shards": {}, "cluster": {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }}
+
+
+class TestShardMetricsCLI:
+    def test_metrics_out_writes_views(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = cli_main(
+            [
+                "shard",
+                "--shards", "2",
+                "--clients", "128",
+                "--sim-time", "6",
+                "--warmup", "2",
+                "--metrics-out", str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert set(payload["shards"]) == {"0", "1"}
+        name = "replica_ops_committed_total"
+        total = sum(
+            _counter_total(snap, name) for snap in payload["shards"].values()
+        )
+        assert _counter_total(payload["cluster"], name) == total > 0
