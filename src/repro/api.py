@@ -186,6 +186,12 @@ class Scenario:
     #: shards=G)``; give ``shard`` explicitly for router knobs.
     shard: "ShardConfig | None" = field(default=None)
     shards: int = 1
+    #: Worker processes for the simulation itself (not the sweep): with
+    #: ``des_jobs > 1`` a sharded load point runs each consensus group's
+    #: simulator across that many spawn workers via
+    #: :class:`repro.des.ParallelShardedCluster`, with results
+    #: byte-identical to ``des_jobs=1``.  Requires ``shards >= 2``.
+    des_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -222,6 +228,13 @@ class Scenario:
             raise ConfigError(
                 f"Scenario.shards ({self.shards}) contradicts "
                 f"Scenario.shard.shards ({self.shard.shards}); set one of them"
+            )
+        if self.des_jobs < 1:
+            raise ConfigError(f"Scenario.des_jobs must be >= 1, got {self.des_jobs}")
+        if self.des_jobs > 1 and self.resolved_shard().shards < 2:
+            raise ConfigError(
+                "Scenario.des_jobs > 1 parallelises per consensus group; "
+                "set shards >= 2 (an unsharded run has nothing to decompose)"
             )
         if self.cluster is not None and self.f != 1 and self.f != self.cluster.f:
             raise ConfigError(
@@ -264,6 +277,11 @@ def _topology_kwargs(scenario: Scenario) -> dict:
     shard = scenario.resolved_shard()
     if shard.shards > 1:
         extra["shard"] = shard
+    if scenario.des_jobs != 1:
+        # Part of sweep-cache keys (task dicts are the payload), so a
+        # des_jobs=4 point never aliases a des_jobs=1 one even though
+        # the engines are proven byte-identical.
+        extra["des_jobs"] = scenario.des_jobs
     return extra
 
 

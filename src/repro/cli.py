@@ -356,11 +356,85 @@ def _cmd_audit(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_shard_parallel(args: argparse.Namespace) -> None:
+    """``repro shard --jobs N``: same run, groups across N processes.
+
+    Byte-identical readouts to the serial path (same table, aggregate
+    line, metrics JSON and audit verdict) — diffing the two outputs is
+    the cheapest end-to-end determinism check, and CI does exactly that.
+    """
+    from repro.des.parallel import ParallelShardedCluster
+    from repro.harness.metrics import LatencyRecorder
+    from repro.harness.scenarios import _experiment, _token_weight
+    from repro.shard import ShardConfig
+
+    shard = ShardConfig(shards=args.shards, router=args.router, router_seed=args.seed)
+    experiment = _experiment(
+        args.f, seed=args.seed, base_timeout=120.0, max_timeout=240.0
+    )
+    engine = ParallelShardedCluster(
+        experiment,
+        shard=shard,
+        protocol=args.protocol,
+        crypto_mode="null",
+        audit=True,
+        metrics=bool(args.metrics_out),
+        jobs=args.jobs,
+    )
+    engine.run_workload(
+        num_clients=args.clients,
+        sim_time=args.sim_time,
+        token_weight=_token_weight(args.clients),
+        warmup=args.warmup,
+    )
+    duration = args.sim_time - args.warmup
+    rows = []
+    for result, tps in zip(engine.group_results, engine.per_shard_tps(duration)):
+        latency = LatencyRecorder(window_start=args.warmup)
+        latency.samples.extend(result.latency_samples)
+        report = result.audit_report or {"ok": True, "violations": []}
+        rows.append(
+            [
+                str(result.shard_id),
+                str(result.num_clients),
+                ktx(tps),
+                ms(latency.mean() if result.latency_samples else 0.0),
+                str(result.misrouted_ops),
+                "OK" if report["ok"] else f"{len(report['violations'])} violations",
+            ]
+        )
+    merged = engine.merged_latency(window_start=args.warmup)
+    print(
+        format_table(
+            f"sharded run ({args.protocol}, G={args.shards}, f={args.f} per group)",
+            ["shard", "clients", "ktx/s", "lat ms", "misrouted", "audit"],
+            rows,
+        )
+    )
+    print(
+        f"\naggregate: {ktx(sum(engine.per_shard_tps(duration)))} ktx/s  "
+        f"lat(mean)={ms(merged.mean())} ms  lat(p99)={ms(merged.p99())} ms"
+    )
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            json.dump(engine.metrics_snapshot(), fh, indent=2, sort_keys=True)
+        log.info("wrote %s", args.metrics_out)
+    violations = engine.audit_violations()
+    if violations:
+        print(f"online audit: {violations} violation(s)")
+        raise SystemExit(1)
+
+
 def _cmd_shard(args: argparse.Namespace) -> None:
     from repro.harness.scenarios import _experiment, _token_weight
     from repro.harness.workload import ShardedClosedLoopClients
     from repro.shard import ShardConfig, ShardedCluster
 
+    if args.jobs > 1:
+        _cmd_shard_parallel(args)
+        return
     shard = ShardConfig(shards=args.shards, router=args.router, router_seed=args.seed)
     experiment = _experiment(
         args.f, seed=args.seed, base_timeout=120.0, max_timeout=240.0
@@ -733,6 +807,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         help="write per-shard metric views plus the cluster aggregate to this JSON file",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the simulation itself (per-group "
+        "decomposition); output is byte-identical to --jobs 1",
     )
     p.set_defaults(func=_cmd_shard)
 

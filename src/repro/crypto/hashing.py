@@ -9,7 +9,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any
 
-from repro.common.encoding import encode
+from repro.common.encoding import encode_into
 
 DIGEST_SIZE = 32
 
@@ -22,13 +22,18 @@ def hash_bytes(data: bytes) -> Digest:
     return hashlib.sha256(data).digest()
 
 
-def digest_of(value: Any) -> Digest:
+def digest_of(value: Any, _sha256=hashlib.sha256) -> Digest:
     """SHA-256 of the canonical encoding of ``value``.
 
-    Because :func:`repro.common.encoding.encode` is deterministic, two
-    replicas computing ``digest_of`` over equal values always agree.
+    Because the canonical encoding is deterministic, two replicas
+    computing ``digest_of`` over equal values always agree.  The
+    encoding is hashed straight out of the working buffer
+    (:func:`repro.common.encoding.encode_into`) without ever
+    materialising an immutable copy.
     """
-    return hash_bytes(encode(value))
+    buf = bytearray()
+    encode_into(value, buf)
+    return _sha256(buf).digest()
 
 
 def short_hex(digest: Digest, length: int = 8) -> str:

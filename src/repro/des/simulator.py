@@ -11,15 +11,26 @@ float and an int — the sequence number is unique, so the :class:`Event`
 handle in the third slot is never compared.  The handle itself is a
 ``__slots__`` object that exists only to support O(1) tombstone
 cancellation; cancelled events are skipped when popped.
+
+Tombstones are cheap individually but a mass cancel (a view-change storm
+rearming thousands of timers at once) can leave the heap mostly dead
+weight, and every push/pop then sifts past entries that will never fire.
+The simulator therefore counts live tombstones and compacts the heap in
+place once more than half of a non-trivial queue is cancelled, which
+bounds ``pending`` at roughly twice the live event count.
 """
 
 from __future__ import annotations
 
 import random
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Callable
 
 from repro.common.errors import ReproError
+
+#: Queues smaller than this are never compacted: rebuilding a tiny heap
+#: costs more than sifting past its tombstones.
+_COMPACT_MIN = 256
 
 
 class SimulationError(ReproError):
@@ -29,7 +40,7 @@ class SimulationError(ReproError):
 class Event:
     """Cancel handle for one scheduled callback."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "owner")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = "") -> None:
         self.time = time
@@ -37,10 +48,16 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self.owner: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it; idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancelled()
 
     def __repr__(self) -> str:
         state = " cancelled" if self.cancelled else ""
@@ -64,6 +81,7 @@ class Simulator:
         self._rng = random.Random(seed)
         self._events_processed = 0
         self._running = False
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -84,6 +102,26 @@ class Simulator:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
 
+    def credit_events(self, count: int) -> None:
+        """Credit ``count`` logical events beyond the heap pops.
+
+        The network's batched delivery collapses same-instant deliveries
+        on one link into a single heap event; it credits the remainder
+        here so :attr:`events_processed` keeps counting deliveries
+        individually, independent of how they were scheduled.
+        """
+        self._events_processed += count
+
+    def _note_cancelled(self) -> None:
+        # Called by Event.cancel().  Compact once tombstones dominate a
+        # non-trivial queue; in-place (slice assignment + heapify) so the
+        # local alias held by a running run() loop stays valid.
+        self._cancelled += 1
+        if self._cancelled >= _COMPACT_MIN and self._cancelled * 2 > len(self._queue):
+            self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
+            heapify(self._queue)
+            self._cancelled = 0
+
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
@@ -92,6 +130,7 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, seq, callback, label)
+        event.owner = self
         heappush(self._queue, (time, seq, event))
         return event
 
@@ -122,6 +161,8 @@ class Simulator:
                 time, _, event = queue[0]
                 if event.cancelled:
                     heappop(queue)
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
                     continue
                 if until is not None and time > until:
                     self._now = until
@@ -150,6 +191,8 @@ class Simulator:
         while self._queue:
             time, _, event = heappop(self._queue)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             if time < self._now:
                 raise SimulationError(

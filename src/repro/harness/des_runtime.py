@@ -114,7 +114,8 @@ class DESCluster:
     of G.  ``inbound_filter`` (``filter(replica_id, src, payload) ->
     payload | None``) screens deliveries before they reach a replica —
     the hook shard guards use to reject mis-routed commands; ``None``
-    keeps the unfiltered fast path.
+    keeps the unfiltered fast path.  ``net_rng`` overrides the network's
+    jitter RNG (sharded runs pass a per-group stream so groups decouple).
     """
 
     def __init__(
@@ -131,6 +132,7 @@ class DESCluster:
         sim: Simulator | None = None,
         crypto: CryptoService | None = None,
         inbound_filter: Callable[[int, int, Any], Any] | None = None,
+        net_rng: Any | None = None,
     ) -> None:
         if protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {protocol!r}; pick from {sorted(PROTOCOLS)}")
@@ -148,6 +150,7 @@ class DESCluster:
             experiment.network,
             sizer,
             metrics=observability.net if observability is not None else None,
+            rng=net_rng,
         )
         if crypto is None:
             crypto = self._make_crypto(crypto_mode, cluster.num_replicas, cluster.quorum)

@@ -68,6 +68,7 @@ def _load_point(
     client=None,
     cluster=None,
     shard=None,
+    des_jobs: int = 1,
 ) -> RunResult:
     """One closed-loop load point for one protocol at one cluster size.
 
@@ -101,6 +102,7 @@ def _load_point(
         client=client,
         cluster=cluster,
         shard=shard,
+        des_jobs=des_jobs,
     )
     return result
 
@@ -120,6 +122,7 @@ def _load_point_ex(
     client=None,
     cluster=None,
     shard=None,
+    des_jobs: int = 1,
 ) -> tuple[RunResult, DESCluster]:
     """:func:`_load_point` that also returns the finished cluster.
 
@@ -127,13 +130,39 @@ def _load_point_ex(
     trace (via ``commit_trace()``), so serial and multi-process runs can
     be proven identical.  With ``shard.shards > 1`` the returned cluster
     is a :class:`~repro.shard.ShardedCluster` and the result carries
-    aggregate metrics plus ``per_shard_tps``.
+    aggregate metrics plus ``per_shard_tps``.  ``des_jobs > 1`` runs the
+    sharded point on the process-parallel engine
+    (:mod:`repro.des.parallel`) instead — same numbers, the groups'
+    simulators advance across worker processes.
     """
     cluster_config = cluster
     if cluster_config is not None:
         experiment = ExperimentConfig(cluster=cluster_config, seed=seed)
     else:
         experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
+    if des_jobs > 1:
+        if shard is None or shard.shards < 2:
+            raise ConfigError(
+                "des_jobs > 1 decomposes the run per consensus group; "
+                "it requires a sharded topology (shards >= 2)"
+            )
+        from repro.des.parallel import parallel_sharded_load_point
+
+        return parallel_sharded_load_point(
+            experiment,
+            shard,
+            protocol=protocol,
+            clients=clients,
+            sim_time=sim_time,
+            warmup=warmup,
+            request_size=request_size,
+            reply_size=reply_size,
+            observability=observability,
+            pipeline=pipeline,
+            crypto=crypto,
+            client=client,
+            des_jobs=des_jobs,
+        )
     if shard is not None and shard.shards > 1:
         return _sharded_load_point(
             experiment,
@@ -304,6 +333,7 @@ def _latency_breakdown(
     cluster=None,
     shard=None,
     pipeline=None,
+    des_jobs: int = 1,
 ):
     """One load point with request-journey tracing armed.
 
@@ -336,6 +366,7 @@ def _latency_breakdown(
         client=client,
         cluster=cluster,
         shard=shard,
+        des_jobs=des_jobs,
     )
     return result, recorder, finished
 

@@ -20,11 +20,21 @@ itself, so its state is collapsed: each directed link's flags, shaper
 horizon and FIFO floor live in one :class:`LinkState` record (one dict
 lookup instead of four), and the network profile's constants are hoisted
 to attributes at construction time.
+
+Deliveries are batched per link: messages arriving on the same directed
+link at the same instant share one scheduled heap event that drains a
+list, instead of one heap push/pop each — a leader broadcast or a hub
+burst at one timestamp costs a single sift.  Each drained envelope still
+goes through the full per-delivery path (metrics, taps, handler) and is
+credited individually to the simulator's event counter, so accounting is
+unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+import zlib
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable
 
@@ -35,9 +45,22 @@ from repro.network.message import Envelope, WireSizer
 from repro.network.stats import TrafficStats
 from repro.network.transport import DeliveryHandler, Transport
 
-__all__ = ["LOOPBACK_DELAY", "LinkState", "SimNetwork", "TrafficStats"]
+__all__ = ["LOOPBACK_DELAY", "LinkState", "SimNetwork", "TrafficStats", "shard_net_rng"]
 
 LOOPBACK_DELAY = 20e-6
+
+
+def shard_net_rng(seed: int, shard_id: int) -> random.Random:
+    """Deterministic per-group network jitter RNG for sharded runs.
+
+    Giving every consensus group its own stream (instead of interleaving
+    draws on the shared simulator RNG) makes each group's event sequence
+    independent of how the groups are scheduled — the property that lets
+    a process-parallel sharded run reproduce the serial run byte for
+    byte.  The derivation is pure arithmetic on ``(seed, shard_id)`` so
+    serial and parallel engines agree without sharing state.
+    """
+    return random.Random(zlib.crc32(b"shard-net:%d:%d" % (seed, shard_id)))
 
 
 @dataclass(slots=True)
@@ -55,6 +78,10 @@ class LinkState:
     free_at: float = 0.0
     #: Latest arrival handed to this link (TCP-like FIFO delivery floor).
     last_arrival: float = 0.0
+    #: Open delivery batch: envelopes sharing one scheduled drain event.
+    batch: list[Envelope] | None = field(default=None, repr=False)
+    #: Arrival instant of the open batch (valid while ``batch`` is set).
+    batch_at: float = -1.0
 
 
 class SimNetwork(Transport):
@@ -66,10 +93,15 @@ class SimNetwork(Transport):
         profile: NetworkProfile,
         sizer: WireSizer | None = None,
         metrics: Any | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self._sim = sim
         self._profile = profile
         self._sizer = sizer or WireSizer()
+        #: Jitter/loss RNG.  Defaults to the simulator-wide stream; a
+        #: sharded run passes a per-group stream (see
+        #: :func:`shard_net_rng`) so groups decouple deterministically.
+        self._rng = rng if rng is not None else sim.rng
         #: Optional repro.obs.metrics.NetworkMetrics duck — send/receive/
         #: drop counters per endpoint, independent of TrafficStats (which
         #: the complexity benchmarks reset around warm-up).
@@ -154,22 +186,30 @@ class SimNetwork(Transport):
             self._stats.record(src, dst, size)
         if self._metrics is not None:
             self._metrics.sent(src, size)
-        if src == dst:
-            envelope = Envelope(src, dst, payload, size, now)
-            sim.schedule(LOOPBACK_DELAY, partial(self._deliver, envelope), "loopback")
-            return
         key = (src, dst)
         state = self._links.get(key)
         if state is None:
             state = LinkState()
             self._links[key] = state
+        if src == dst:
+            envelope = Envelope(src, dst, payload, size, now)
+            arrival = now + LOOPBACK_DELAY
+            batch = state.batch
+            if batch is not None and state.batch_at == arrival:
+                batch.append(envelope)
+                return
+            batch = [envelope]
+            state.batch = batch
+            state.batch_at = arrival
+            sim.schedule(LOOPBACK_DELAY, partial(self._drain, state, batch), "loopback")
+            return
         if not state.up:
             if self._recording:
                 self._stats.dropped += 1
             if self._metrics is not None:
                 self._metrics.dropped(src)
             return
-        rng = sim.rng
+        rng = self._rng
         if self._loss_rate > 0.0 and rng.random() < self._loss_rate:
             if self._recording:
                 self._stats.dropped += 1
@@ -194,16 +234,36 @@ class SimNetwork(Transport):
         arrival = link_done + latency
         # Links are TCP-like: delivery is FIFO per (src, dst) even when
         # jitter would let a small message overtake a large one's tail.
-        floor = state.last_arrival + 1e-9
-        if arrival < floor:
-            arrival = floor
+        # Clamping to the floor (instead of nudging past it) lets a burst
+        # landing at one instant share a single drain event below.
+        if arrival < state.last_arrival:
+            arrival = state.last_arrival
         state.last_arrival = arrival
         envelope = Envelope(src, dst, payload, size, now)
-        sim.schedule(arrival - now, partial(self._deliver, envelope), "net")
+        batch = state.batch
+        if batch is not None and state.batch_at == arrival:
+            # Same link, same arrival instant: ride the already-scheduled
+            # drain.  FIFO holds — the batch drains in append order.
+            batch.append(envelope)
+            return
+        batch = [envelope]
+        state.batch = batch
+        state.batch_at = arrival
+        sim.schedule(arrival - now, partial(self._drain, state, batch), "net")
 
     def add_tap(self, tap: "Callable[[Envelope], None]") -> None:
         """Observe every delivered envelope (complexity accounting)."""
         self._taps.append(tap)
+
+    def _drain(self, state: LinkState, batch: list[Envelope]) -> None:
+        if state.batch is batch:
+            state.batch = None
+        if len(batch) > 1:
+            # One heap event stood in for the whole batch; keep
+            # events_processed counting deliveries individually.
+            self._sim.credit_events(len(batch) - 1)
+        for envelope in batch:
+            self._deliver(envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
         if self._metrics is not None:

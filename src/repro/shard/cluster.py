@@ -37,9 +37,51 @@ from repro.consensus.messages import ClientRequest, ClientRequestBatch
 from repro.consensus.pipeline import PipelineConfig
 from repro.des.simulator import Simulator
 from repro.harness.des_runtime import DESCluster
+from repro.network.simnet import shard_net_rng
 from repro.obs.complexity import ComplexityObservatory
 from repro.obs.observer import RunObservability
 from repro.shard.config import ShardConfig
+
+
+def make_misroute_guard(
+    router: ShardRouter, shard_id: int, group: "ShardGroup"
+) -> Callable[[int, int, Any], Any]:
+    """The misroute filter installed on every replica of one group.
+
+    Client traffic whose routing key maps to a different shard is
+    stripped (batches) or dropped (single requests) and counted on
+    ``group``; protocol traffic passes untouched.  Shared between the
+    serial :class:`ShardedCluster` and the process-parallel engine in
+    :mod:`repro.des.parallel` so both enforce identical discipline.
+    """
+
+    def guard(replica_id: int, src: int, payload: Any) -> Any:
+        if isinstance(payload, ClientRequest):
+            if router.shard_of_client(payload.client_id) == shard_id:
+                return payload
+            group.misrouted_ops += payload.weight
+            group.misrouted_messages += 1
+            return None
+        if isinstance(payload, ClientRequestBatch):
+            native = tuple(
+                op
+                for op in payload.operations
+                if router.shard_of_client(op.client_id) == shard_id
+            )
+            if len(native) == len(payload.operations):
+                return payload
+            group.misrouted_ops += sum(
+                op.weight
+                for op in payload.operations
+                if router.shard_of_client(op.client_id) != shard_id
+            )
+            group.misrouted_messages += 1
+            if not native:
+                return None
+            return ClientRequestBatch(operations=native)
+        return payload
+
+    return guard
 
 
 @dataclass
@@ -66,6 +108,13 @@ class ShardedCluster:
     where the concepts coincide; ``shard`` carries the topology.  With
     ``ShardConfig()`` (one shard) the behaviour — including the event
     trace — matches a lone ``DESCluster`` with a guard installed.
+
+    With G > 1 every group's network draws jitter from its own
+    deterministic per-group stream (:func:`shard_net_rng`) instead of the
+    shared simulator RNG.  That decouples the groups' event sequences
+    from interleaving order, which is what lets the process-parallel
+    engine (:mod:`repro.des.parallel`) reproduce this serial run byte
+    for byte.
     """
 
     def __init__(
@@ -117,6 +166,11 @@ class ShardedCluster:
                 inbound_filter=(
                     self._guard(group) if self.shard.reject_misrouted else None
                 ),
+                net_rng=(
+                    shard_net_rng(experiment.seed, shard_id)
+                    if self.shard.shards > 1
+                    else None
+                ),
             )
             group.observability = observability
             if observe_complexity:
@@ -129,42 +183,8 @@ class ShardedCluster:
     # ------------------------------------------------------------- routing
 
     def _guard(self, group: ShardGroup) -> Callable[[int, int, Any], Any]:
-        """The misroute filter installed on every replica of ``group``.
-
-        Client traffic whose routing key maps to a different shard is
-        stripped (batches) or dropped (single requests) and counted;
-        protocol traffic passes untouched.
-        """
-        router = self.router
-        shard_id = group.shard_id
-
-        def guard(replica_id: int, src: int, payload: Any) -> Any:
-            if isinstance(payload, ClientRequest):
-                if router.shard_of_client(payload.client_id) == shard_id:
-                    return payload
-                group.misrouted_ops += payload.weight
-                group.misrouted_messages += 1
-                return None
-            if isinstance(payload, ClientRequestBatch):
-                native = tuple(
-                    op
-                    for op in payload.operations
-                    if router.shard_of_client(op.client_id) == shard_id
-                )
-                if len(native) == len(payload.operations):
-                    return payload
-                group.misrouted_ops += sum(
-                    op.weight
-                    for op in payload.operations
-                    if router.shard_of_client(op.client_id) != shard_id
-                )
-                group.misrouted_messages += 1
-                if not native:
-                    return None
-                return ClientRequestBatch(operations=native)
-            return payload
-
-        return guard
+        """See :func:`make_misroute_guard` (shared with the parallel engine)."""
+        return make_misroute_guard(self.router, group.shard_id, group)
 
     @property
     def shards(self) -> int:

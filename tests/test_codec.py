@@ -22,6 +22,8 @@ from repro.consensus.messages import (
     ReadReply,
     ReadRequest,
     ReplyBatch,
+    StateTransferRequest,
+    StateTransferResponse,
     SyncRequest,
     SyncResponse,
     ViewChangeMsg,
@@ -233,6 +235,92 @@ class TestSignatureUnion:
         qc = genesis_qc(genesis_block())
         msg = PhaseMsg(phase=Phase.COMMIT, view=0, justify=Justify(qc))
         assert roundtrip(msg).justify.qc.signature is None
+
+
+class TestGoldenWireFormat:
+    """Every registered message type must encode byte-identically to the
+    reference append-per-field encoder (the zero-copy fast path gate)."""
+
+    @staticmethod
+    def _samples():
+        proof = ViewChangeMsg(
+            view=5,
+            last_voted=sample_summary(),
+            justify=Justify(sample_qc()),
+            share=PartialSignature(signer=0, value=9),
+        )
+        return [
+            PhaseMsg(
+                phase=Phase.PREPARE, view=3, justify=Justify(sample_qc()), block=sample_block()
+            ),
+            VoteMsg(
+                phase=Phase.PRE_PREPARE,
+                view=4,
+                block=sample_summary(virtual=True),
+                share=PartialSignature(signer=2, value=987654321),
+                locked_qc=sample_qc(),
+            ),
+            PrePrepareMsg(
+                view=2,
+                proposals=(Proposal(sample_block(), Justify(sample_qc())),),
+            ),
+            proof,
+            AggregateNewView(
+                view=5, block=sample_block(), justify=Justify(sample_qc()),
+                proofs=((0, proof), (2, proof)),
+            ),
+            StateTransferRequest(have_height=4),
+            StateTransferResponse(
+                committed_height=7,
+                head=sample_block(),
+                recent_blocks=(sample_block(),),
+                app_entries=((b"k", b"v"),),
+            ),
+            SyncRequest(digests=(digest_of("a"), digest_of("b"))),
+            SyncResponse(
+                blocks=(sample_block(),),
+                resolutions=((digest_of("v"), digest_of("p")),),
+            ),
+            ClientRequest(client_id=9, sequence=3, payload=b"x", weight=7),
+            ClientRequestBatch(
+                operations=(Operation(client_id=1, sequence=2, payload=b"z", weight=5),)
+            ),
+            ClientReply(
+                client_id=9, sequence=3, replica=1, result=b"ok",
+                result_digest=digest_of("r"), view=4, weight=3, reply_size=150,
+            ),
+            ReplyBatch(
+                replica=2, block_digest=digest_of("b"), op_keys=((1, 2), (3, 4)),
+                num_ops=10, reply_size=150,
+                result_digests=(digest_of("r1"), digest_of("r2")), view=6,
+            ),
+            ReadRequest(client_id=9, sequence=4, key=b"k", weight=2),
+            ReadReply(
+                client_id=9, sequence=4, replica=1, view=3, value=b"v", ok=True, weight=2
+            ),
+            LeaseProbe(leader=1, view=3, nonce=17),
+            LeaseAck(replica=2, view=3, nonce=17),
+        ]
+
+    def test_all_registered_types_sampled(self):
+        # A new message type registered without a golden sample here must
+        # fail loudly rather than silently escape the byte-identity gate.
+        from repro.network import codec
+
+        sampled = {type(msg) for msg in self._samples()}
+        sampled.update({SyncRequest, SyncResponse})
+        missing = set(codec._ENCODERS) - sampled
+        assert not missing, f"message types without a golden sample: {missing}"
+
+    def test_byte_identical_to_reference_encoder(self):
+        from repro.network import codec
+        from tests.test_encoding import reference_encode
+
+        for msg in self._samples():
+            tag, enc = codec._ENCODERS[type(msg)]
+            assert encode_message(msg) == reference_encode([tag, enc(msg)]), (
+                f"wire bytes drifted for {type(msg).__name__}"
+            )
 
 
 class TestErrors:

@@ -1,0 +1,218 @@
+"""The process-parallel sharded engine is byte-identical to the serial one.
+
+Three engines must agree on a G=4 sharded run:
+
+* the serial :class:`~repro.shard.ShardedCluster` (one shared simulator);
+* the decomposed engine hosting every group in-process (``jobs=1``);
+* the decomposed engine across spawn worker processes (``jobs=4``),
+  with and without forced lookahead barriers.
+
+"Agree" means byte-identity: commit-trace SHA-256, per-group simulator
+event counts, merged latency samples, journey blobs and the waterfall
+reconciliation — not approximate equality.  The suite runs the spawn
+paths sparingly (worker boot costs real seconds) and leans on the
+``jobs=1`` path, which exercises the identical worker-host code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict
+
+import pytest
+
+from repro.api import Scenario, latency_breakdown, load_point
+from repro.common.config import ClusterConfig, ExperimentConfig
+from repro.common.encoding import encode
+from repro.common.errors import ConfigError
+from repro.des.parallel import ParallelShardedCluster
+from repro.harness.workload import ShardedClosedLoopClients
+from repro.shard.cluster import ShardedCluster
+from repro.shard.config import ShardConfig
+
+
+def _experiment(seed: int = 7) -> ExperimentConfig:
+    return ExperimentConfig(
+        cluster=ClusterConfig.for_f(1, base_timeout=120.0, max_timeout=240.0),
+        seed=seed,
+    )
+
+
+def _shard(seed: int = 7) -> ShardConfig:
+    return ShardConfig(shards=4, router_seed=seed)
+
+
+def trace_sha(trace: list) -> str:
+    return hashlib.sha256(encode(trace)).hexdigest()
+
+
+def run_serial(protocol: str, seed: int = 7):
+    sharded = ShardedCluster(
+        _experiment(seed), shard=_shard(seed), protocol=protocol, crypto_mode="null"
+    )
+    pool = ShardedClosedLoopClients(
+        sharded, num_clients=64, token_weight=1, warmup=1.0
+    )
+    sharded.start()
+    sharded.sim.schedule(0.01, pool.start)
+    sharded.run(until=5.0)
+    sharded.assert_safety()
+    return sharded, pool
+
+
+def run_parallel(
+    protocol: str, jobs: int, seed: int = 7, lookahead: float | None = None
+) -> ParallelShardedCluster:
+    engine = ParallelShardedCluster(
+        _experiment(seed),
+        shard=_shard(seed),
+        protocol=protocol,
+        crypto_mode="null",
+        jobs=jobs,
+        lookahead=lookahead,
+    )
+    engine.run_workload(num_clients=64, sim_time=5.0, token_weight=1, warmup=1.0)
+    return engine
+
+
+class TestSerialEquivalence:
+    """Decomposed jobs=1 engine vs the classic shared-simulator engine."""
+
+    @pytest.mark.parametrize("protocol", ["marlin", "hotstuff", "fast-hotstuff"])
+    def test_commit_trace_matches_serial(self, protocol):
+        sharded, pool = run_serial(protocol)
+        engine = run_parallel(protocol, jobs=1)
+        assert trace_sha(engine.commit_trace()) == trace_sha(sharded.commit_trace())
+        assert engine.total_ops_committed() == sharded.total_ops_committed()
+        assert engine.blocks_committed == sum(
+            max(r.stats["blocks_committed"] for r in group.cluster.replicas)
+            for group in sharded.groups
+        )
+
+    def test_latency_samples_match_serial(self):
+        sharded, pool = run_serial("marlin")
+        engine = run_parallel("marlin", jobs=1)
+        assert (
+            engine.merged_latency(window_start=1.0).samples
+            == pool.merged_latency().samples
+        )
+
+
+class TestProcessEquivalence:
+    """Spawn workers (jobs=4) vs the in-process decomposed run (jobs=1)."""
+
+    @pytest.mark.parametrize("protocol", ["marlin", "hotstuff", "fast-hotstuff"])
+    def test_jobs4_matches_jobs1(self, protocol):
+        one = run_parallel(protocol, jobs=1)
+        four = run_parallel(protocol, jobs=4)
+        assert four.per_group_events() == one.per_group_events()
+        assert trace_sha(four.commit_trace()) == trace_sha(one.commit_trace())
+        assert four.merged_latency().samples == one.merged_latency().samples
+
+    def test_windowed_run_changes_nothing(self):
+        # Forcing ~20 lookahead barriers must not perturb a single event:
+        # the window mechanism is pure pacing, never reordering.
+        free = run_parallel("marlin", jobs=1)
+        windowed = run_parallel("marlin", jobs=1, lookahead=0.25)
+        assert windowed.windows_run > 1
+        assert free.windows_run == 1
+        assert windowed.per_group_events() == free.per_group_events()
+        assert trace_sha(windowed.commit_trace()) == trace_sha(free.commit_trace())
+
+    def test_excess_jobs_clamped_to_groups(self):
+        engine = ParallelShardedCluster(
+            _experiment(), shard=_shard(), crypto_mode="null", jobs=64
+        )
+        assert engine.jobs == 4
+
+
+class TestScenarioWiring:
+    """`Scenario(des_jobs=...)` reaches the engine through the facade."""
+
+    def test_load_point_byte_identical(self):
+        base = Scenario(
+            protocol="marlin", f=1, clients=64, sim_time=5.0, warmup=1.0,
+            shards=4, seed=3,
+        )
+        serial = load_point(base)
+        parallel = load_point(base.with_overrides(des_jobs=4))
+        assert asdict(parallel) == asdict(serial)
+        assert parallel.shards == 4
+        assert parallel.per_shard_tps is not None
+
+    def test_waterfall_reconciliation_matches(self):
+        base = Scenario(
+            protocol="marlin", f=1, clients=64, sim_time=5.0, warmup=1.0,
+            shards=4, seed=3,
+        )
+        serial, serial_journey = latency_breakdown(base, sample_rate=1.0)
+        parallel, parallel_journey = latency_breakdown(
+            base.with_overrides(des_jobs=4), sample_rate=1.0
+        )
+        assert parallel.waterfall == serial.waterfall
+        assert sorted(parallel_journey._events.items()) == sorted(
+            serial_journey._events.items()
+        )
+
+    def test_des_jobs_requires_sharding(self):
+        with pytest.raises(ConfigError):
+            Scenario(des_jobs=4)
+        with pytest.raises(ConfigError):
+            Scenario(des_jobs=0, shards=4)
+        # The engine enforces the same invariant below the facade.
+        with pytest.raises(ConfigError):
+            ParallelShardedCluster(_experiment(), shard=ShardConfig(shards=1))
+
+
+# ---------------------------------------------------------------------------
+# The cross-shard event bus (the lookahead machinery proper)
+
+
+def ring_handler(port, src_shard, payload) -> None:
+    """Token ring: forward the token to the next group until it dies."""
+    hops = payload["hops"]
+    if hops > 0:
+        port.emit((port.shard_id + 1) % 4, {"hops": hops - 1}, delay=0.05)
+
+
+class TestCrossShardBus:
+    def run_ring(self, jobs: int) -> ParallelShardedCluster:
+        engine = ParallelShardedCluster(
+            _experiment(),
+            shard=_shard(),
+            crypto_mode="null",
+            jobs=jobs,
+            lookahead=0.05,
+            bus_handler="tests.test_des_parallel.ring_handler",
+            bus_seed=((0.5, -1, 0, {"hops": 12}),),
+        )
+        engine.run_workload(num_clients=64, sim_time=5.0, token_weight=1, warmup=1.0)
+        return engine
+
+    def test_ring_deterministic_across_jobs(self):
+        one = self.run_ring(jobs=1)
+        four = self.run_ring(jobs=4)
+        assert one.windows_run > 1
+        assert four.per_group_events() == one.per_group_events()
+        assert trace_sha(four.commit_trace()) == trace_sha(one.commit_trace())
+
+    def test_bus_events_reach_every_group(self):
+        # 12 hops from group 0 visit all four groups three times; each
+        # hop is one extra "xshard" event on the target group's sim.
+        quiet = run_parallel("marlin", jobs=1)
+        ringed = self.run_ring(jobs=1)
+        extra = {
+            gid: ringed.per_group_events()[gid] - quiet.per_group_events()[gid]
+            for gid in range(4)
+        }
+        # 13 token landings round the ring (hops 12 down to 0): group 0
+        # sees the seed plus hops 8, 4 and 0; groups 1-3 see 3 each.
+        assert extra == {0: 4, 1: 3, 2: 3, 3: 3}
+
+    def test_bus_seed_requires_handler(self):
+        with pytest.raises(ConfigError):
+            ParallelShardedCluster(
+                _experiment(),
+                shard=_shard(),
+                bus_seed=((0.5, -1, 0, {"hops": 1}),),
+            )

@@ -2,11 +2,52 @@
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.encoding import decode, encode
 from repro.common.errors import EncodingError
+
+
+def reference_encode(value) -> bytes:
+    """The original append-per-field encoder, kept as the golden oracle.
+
+    The shipping encoder writes into one preallocated buffer with
+    ``pack_into``; this straightforward implementation pins the wire
+    format it must keep producing byte-for-byte.
+    """
+    out = bytearray()
+    _reference_into(value, out)
+    return bytes(out)
+
+
+def _reference_into(value, out: bytearray) -> None:
+    if value is None:
+        out += b"n"
+    elif value is True:
+        out += b"t"
+    elif value is False:
+        out += b"f"
+    elif isinstance(value, int):
+        out += b"i" + struct.pack(">q", value)
+    elif isinstance(value, bytes):
+        out += b"b" + struct.pack(">I", len(value)) + value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"s" + struct.pack(">I", len(raw)) + raw
+    elif isinstance(value, (list, tuple)):
+        out += b"l" + struct.pack(">I", len(value))
+        for item in value:
+            _reference_into(item, out)
+    elif isinstance(value, dict):
+        out += b"d" + struct.pack(">I", len(value))
+        for key in sorted(value):
+            _reference_into(key, out)
+            _reference_into(value[key], out)
+    else:
+        raise EncodingError(f"unsupported: {type(value).__name__}")
 
 
 class TestRoundtrip:
@@ -98,6 +139,61 @@ class TestErrors:
             decode(swapped)
 
 
+class TestGoldenFastPath:
+    """The zero-copy encoder must match the reference byte-for-byte."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**63 - 1,
+            -(2**63),
+            b"",
+            b"\x00\xff" * 300,
+            "",
+            "uniçøde",
+            [],
+            [1, b"two", "three", None, True, False],
+            [[1, 2, b"x", 3], [4, 5, b"y", 6]],  # the inlined op-record shape
+            [[[1], [b"deep"]], [["mixed", None]]],
+            {},
+            {"a": 1, "z": [2, {"nested": b"v"}], "m": (True, None)},
+            list(range(200)),  # forces buffer growth mid-list
+            [b"x" * 2000],  # forces growth on a single slice write
+        ],
+    )
+    def test_matches_reference(self, value):
+        assert encode(value) == reference_encode(value)
+
+    def test_bool_inside_list_not_packed_as_int(self):
+        # bool is an int subclass; the inline list fast path must leave
+        # it on the recursive path so it keeps its one-byte tag.
+        assert encode([True, False, 1, 0]) == reference_encode([True, False, 1, 0])
+
+    def test_int_subclass_encodes_as_int(self):
+        class MyInt(int):
+            pass
+
+        assert encode([MyInt(7)]) == reference_encode([7])
+        assert encode(MyInt(7)) == reference_encode(7)
+
+    def test_bytes_subclass_encodes_as_bytes(self):
+        class MyBytes(bytes):
+            pass
+
+        assert encode([MyBytes(b"q")]) == reference_encode([b"q"])
+
+    def test_out_of_range_int_still_rejected(self):
+        with pytest.raises(EncodingError):
+            encode([2**70])
+        with pytest.raises(EncodingError):
+            encode([[2**70]])
+
+
 _values = st.recursive(
     st.none()
     | st.booleans()
@@ -119,6 +215,11 @@ def test_property_roundtrip(value):
 @given(_values)
 def test_property_deterministic(value):
     assert encode(value) == encode(value)
+
+
+@given(_values)
+def test_property_matches_reference(value):
+    assert encode(value) == reference_encode(value)
 
 
 def _normalise(value):

@@ -69,6 +69,77 @@ class TestDelivery:
         assert [p for _, _, p in sink.received] == list(range(10))
 
 
+class TestBatchedDelivery:
+    """Same-instant deliveries on one link share one heap event but are
+    still counted (and delivered) individually."""
+
+    def test_burst_coalesces_heap_events_but_counts_each_delivery(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.set_unshaped(0)  # constant latency: one arrival instant
+        for i in range(10):
+            net.send(0, 1, i)
+        assert sim.pending == 1  # ten deliveries, one scheduled drain
+        sim.run()
+        assert [p for _, _, p in sink.received] == list(range(10))
+        assert sim.events_processed == 10  # deliveries counted individually
+
+    def test_loopback_burst_coalesces(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        for i in range(5):
+            net.send(0, 0, i)
+        assert sim.pending == 1
+        sim.run()
+        assert [p for _, _, p in sink.received] == list(range(5))
+        assert sim.events_processed == 5
+
+    def test_distinct_links_not_coalesced(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        for i in range(3):
+            net.register(i, sink.handler(sim))
+        net.set_unshaped(0)
+        net.send(0, 1, "a")
+        net.send(0, 2, "b")
+        assert sim.pending == 2
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_later_send_opens_new_batch(self):
+        sim = Simulator()
+        net = make_net(sim)
+        sink = Sink()
+        net.register(0, sink.handler(sim))
+        net.register(1, sink.handler(sim))
+        net.set_unshaped(0)
+        net.send(0, 1, "early")
+        sim.schedule(0.010, lambda: net.send(0, 1, "late"))
+        sim.run()
+        assert [p for _, _, p in sink.received] == ["early", "late"]
+        times = [t for t, _, _ in sink.received]
+        assert times[0] != times[1]
+
+    def test_metrics_and_taps_see_every_delivery(self):
+        sim = Simulator()
+        net = make_net(sim)
+        seen = []
+        net.register(0, lambda s, p: None)
+        net.register(1, lambda s, p: None)
+        net.set_unshaped(0)
+        net.add_tap(lambda env: seen.append(env.payload))
+        for i in range(4):
+            net.send(0, 1, i)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+
+
 class TestBandwidth:
     def test_link_serialisation_delay(self):
         # 1 MB at 8 Mbps link = 1 second of serialisation.

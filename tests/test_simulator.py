@@ -137,6 +137,53 @@ class TestSimulator:
             sim.run()
 
 
+class TestCompaction:
+    """Mass-cancel storms must not grow the heap without bound."""
+
+    def test_mass_cancel_compacts_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(100.0 + i, lambda: None) for i in range(4000)]
+        for event in events:
+            event.cancel()
+        # Without compaction all 4000 tombstones would sit in the queue
+        # until popped; the >50% sweep keeps only a small residue.
+        assert sim.pending < 300
+
+    def test_view_change_storm_keeps_pending_bounded(self):
+        # A view-change storm rearms timers over and over: each round
+        # schedules a batch and cancels it.  pending must stay bounded
+        # by the live set, not grow with the number of rounds.
+        sim = Simulator()
+        sim.schedule(1e9, lambda: None)  # one live event outlasting the storm
+        peak = 0
+        for _ in range(50):
+            batch = [sim.schedule(1000.0, lambda: None) for _ in range(200)]
+            for event in batch:
+                event.cancel()
+            peak = max(peak, sim.pending)
+        assert sim.pending < 600
+        assert peak < 600
+
+    def test_compaction_preserves_behaviour(self):
+        sim = Simulator()
+        fired: list[int] = []
+        for i in range(10):
+            sim.schedule(5.0 + i * 0.001, lambda i=i: fired.append(i))
+        doomed = [sim.schedule(50.0, lambda: fired.append(-1)) for _ in range(1000)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 0
+
+
 class TestTimers:
     def test_timer_fires(self):
         sim = Simulator()
