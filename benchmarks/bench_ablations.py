@@ -188,10 +188,14 @@ def test_slow_leader_attack(once, benchmark):
     cluster while never triggering a view change.  Both protocols
     suffer; Marlin's shorter pipeline loses proportionally less.
     """
+    from repro.adversary.behaviors import AdversaryConfig, BehaviorSpec, apply_adversary
     from repro.common.config import ClusterConfig, ExperimentConfig
     from repro.harness.des_runtime import DESCluster
-    from repro.harness.failures import Delayer, make_byzantine
     from repro.harness.workload import ClosedLoopClients
+
+    slow_leader = AdversaryConfig(
+        behaviors=(BehaviorSpec.make("delay", 0, delay=0.15),)
+    )
 
     def run_one(protocol: str, slow: bool) -> float:
         experiment = ExperimentConfig(
@@ -200,7 +204,7 @@ def test_slow_leader_attack(once, benchmark):
         cluster = DESCluster(experiment, protocol=protocol, crypto_mode="null")
         pool = ClosedLoopClients(cluster, num_clients=2048, token_weight=8, warmup=5.0)
         if slow:
-            make_byzantine(cluster, 0, Delayer(cluster, 0.15))
+            apply_adversary(cluster, slow_leader)
         cluster.start()
         cluster.sim.schedule(0.01, pool.start)
         cluster.run(until=20.0)

@@ -23,12 +23,16 @@ Packages:
 * ``repro.des`` + ``repro.harness`` — the discrete-event evaluation rig
   that regenerates every figure and table of the paper.
 * ``repro.runtime`` — a real asyncio runtime for the same protocol cores.
+* ``repro.adversary`` — the Byzantine adversary subsystem: declarative
+  behaviours, a named attack-scenario library, a history-based safety
+  checker, and the campaign runner behind ``repro adversary``.
 * ``repro.api`` — the stable facade: :class:`~repro.api.Scenario` plus
   ``load_point`` / ``throughput_curve`` / ``peak_throughput`` /
   ``traced_run``.  Scripts and notebooks should import from there.
 """
 
 from repro import api
+from repro.adversary import AdversaryConfig, SafetyChecker, run_campaign
 from repro.api import Scenario
 from repro.common.config import (
     ClusterConfig,
@@ -53,6 +57,7 @@ __version__ = "1.0.0"
 #: The public contract: every name here must resolve as ``repro.<name>``
 #: (enforced by tests/test_public_api.py).
 __all__ = [
+    "AdversaryConfig",
     "Block",
     "BlockSummary",
     "ClosedLoopClients",
@@ -70,10 +75,12 @@ __all__ = [
     "QuorumCertificate",
     "RunObservability",
     "RunResult",
+    "SafetyChecker",
     "Scenario",
     "ShardConfig",
     "ShardedCluster",
     "api",
     "genesis_block",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,473 @@
+"""Composable, seed-deterministic Byzantine behaviours.
+
+An adversary is *declared* as a frozen :class:`AdversaryConfig` — which
+replicas misbehave and how, which network partitions open and close,
+which replicas crash — and *installed* onto a live
+:class:`~repro.harness.des_runtime.DESCluster` with
+:func:`apply_adversary`.  Declaration and installation are split so the
+same config object can flow through result caches, worker processes and
+scenario registries as plain data.
+
+Behaviours are named kinds in a registry (:func:`behavior_kinds`); each
+kind is a factory that builds a wire :class:`~repro.harness.failures.Strategy`
+for one replica.  Randomised kinds draw from a private
+:func:`~repro.harness.failures.strategy_rng` stream keyed on
+``(seed, kind, replica)``, so every adversarial run replays
+bit-identically from its seed regardless of how many other behaviours
+run beside it.
+
+The one protocol-aware behaviour lives here too: :class:`ForkingLeader`,
+the Fast-HotStuff-style forking attack (Rondelet–Kilbourn's attack shape
+against two-phase HotStuff without the unlock rule).  The Byzantine
+leader commits the cluster to a block through a hidden quorum, then
+forever replays a *stale* prepareQC in its view-change messages so that
+new leaders assemble snapshots in which the locked block never appears.
+Against the deliberately unsafe ``insecure`` two-phase protocol the
+cluster wedges permanently — one honest replica stays locked above every
+proposal — while Marlin (rank rules + Case R2), three-phase HotStuff
+(precommit evidence) and Fast-HotStuff (aggregate unlock) all recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.consensus.block import genesis_block
+from repro.consensus.messages import Justify, PhaseMsg, ViewChangeMsg, VoteMsg
+from repro.consensus.qc import Phase, QuorumCertificate, genesis_qc
+from repro.harness.failures import (
+    ComposedStrategy,
+    Delayer,
+    Equivocator,
+    GrayFailure,
+    QCHider,
+    ReplyForger,
+    SilenceWindows,
+    SilentAfter,
+    Strategy,
+    VCDelayer,
+    VoteWithholder,
+    strategy_rng,
+)
+
+Params = Mapping[str, Any]
+Send = Callable[[int, Any], None]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    """One behaviour on one replica, as plain data.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so the spec
+    is hashable and canonically encodable for result-cache keys; use
+    :meth:`make` to build one from keyword arguments.
+    """
+
+    kind: str
+    replica: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, replica: int, **params: Any) -> "BehaviorSpec":
+        return cls(kind=kind, replica=replica, params=tuple(sorted(params.items())))
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Cut ``group`` off from the rest of the cluster for a time window."""
+
+    start: float
+    duration: float
+    group: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Permanently crash ``replica`` at ``when`` (DES ``crash_at``)."""
+
+    replica: int
+    when: float
+
+
+@dataclass(frozen=True)
+class AdversaryConfig:
+    """A complete adversary: behaviours, partitions, crashes, seed salt.
+
+    ``seed_salt`` is folded into every behaviour's RNG stream key, so two
+    scenarios sharing a run seed still draw independent randomness.
+    """
+
+    behaviors: tuple[BehaviorSpec, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+    seed_salt: int = 0
+
+    def faulty_replicas(self) -> tuple[int, ...]:
+        """Replica ids under any behaviour (crashes are counted apart)."""
+        return tuple(sorted({spec.replica for spec in self.behaviors}))
+
+
+# ---------------------------------------------------------------------------
+# The forking attack
+
+
+class ForkingLeader(Strategy):
+    """The two-phase forking attack, driven entirely over the wire.
+
+    As leader, at its trigger height the Byzantine replica:
+
+    1. hides the trigger proposal from one honest replica (``hidden``)
+       while recording the proposal's *justify* — the last prepareQC the
+       hidden replica ever saw — as its ``stale_qc``;
+    2. forms the prepareQC for the trigger block normally (votes still
+       reach it), but delivers the resulting COMMIT only to one honest
+       replica (``locked``), which locks — and, in a two-phase protocol,
+       commits — the trigger block;
+    3. from then on answers every view change with a *forged* claim of
+       the stale QC, signed with its own (legitimate) key, and sends
+       nothing else: no proposals, no votes to others, no QCs at or
+       above the trigger height.
+
+    Combined with a view-change lag on ``locked`` (see the
+    ``forking-attack`` scenario), each new leader assembles its quorum
+    snapshot from {byzantine, the two honest replicas that never locked}
+    — a snapshot in which the locked block does not appear.  A protocol
+    without a sound unlock/rank rule proposes a fork of the stale QC
+    forever; the locked replica refuses each one and the cluster wedges.
+    Traffic strictly below the trigger height still flows, so the chain
+    up to ``trigger - 1`` commits everywhere: the wedge is unmistakable
+    against the run's own healthy prefix.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        replica_id: int,
+        trigger_height: int = 3,
+        locked: int | None = None,
+        hidden: int | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.id = replica_id
+        n = cluster.experiment.cluster.num_replicas
+        self.locked = (replica_id - 1) % n if locked is None else locked
+        self.hidden = (replica_id - 2) % n if hidden is None else hidden
+        self.trigger = trigger_height
+        self.stale_qc: QuorumCertificate | None = None
+        self.trigger_view: int | None = None
+        self.attacking = False
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if not self.attacking:
+            if (
+                isinstance(payload, PhaseMsg)
+                and payload.phase == Phase.PREPARE
+                and payload.block is not None
+                and payload.block.height >= self.trigger
+            ):
+                self.attacking = True
+                self.trigger = payload.block.height
+                self.trigger_view = payload.view
+                self.stale_qc = payload.justify.qc
+            else:
+                send(dst, payload)
+                return
+        self._attack(dst, payload, send)
+
+    def _attack(self, dst: int, payload: Any, send: Send) -> None:
+        if isinstance(payload, VoteMsg):
+            # Own votes still count (the hidden quorum includes us);
+            # votes for anyone else's proposals are withheld.
+            if dst == self.id:
+                send(dst, payload)
+            return
+        if isinstance(payload, ViewChangeMsg):
+            send(dst, self._forged_view_change(payload.view))
+            return
+        if isinstance(payload, PhaseMsg):
+            if (
+                payload.phase == Phase.PREPARE
+                and payload.block is not None
+                and payload.block.height == self.trigger
+                and payload.view == self.trigger_view
+            ):
+                # The trigger proposal itself: everyone but `hidden`.
+                if dst != self.hidden:
+                    send(dst, payload)
+                return
+            if self._referenced_height(payload) < self.trigger:
+                # Let the pre-fork chain finish committing everywhere.
+                send(dst, payload)
+                return
+            if (
+                payload.phase == Phase.COMMIT
+                and payload.justify.qc.block.height == self.trigger
+            ):
+                # The poisoned COMMIT: only the victim locks the fork.
+                if dst in (self.locked, self.id):
+                    send(dst, payload)
+                return
+            return
+        # Pre-prepares, sync traffic, later proposals: silence.
+
+    def _referenced_height(self, msg: PhaseMsg) -> int:
+        height = msg.justify.qc.block.height
+        if msg.block is not None:
+            height = max(height, msg.block.height)
+        return height
+
+    def _forged_view_change(self, view: int) -> ViewChangeMsg:
+        assert self.stale_qc is not None
+        stale = self.stale_qc
+        return ViewChangeMsg(
+            view=view,
+            last_voted=stale.block,
+            justify=Justify(stale),
+            share=self.cluster.crypto.sign_vote(
+                self.id, Phase.PREPARE, view, stale.block
+            ),
+        )
+
+
+class AmnesiacVC(Strategy):
+    """Forget the lock after ``after``: an ABC-style amnesiac replica.
+
+    Before ``after`` the replica reports honestly; afterwards every
+    view-change message claims only the genesis QC — the knowledge loss
+    of a node restored from a stale backup.  Safe protocols tolerate it
+    (the snapshot quorum still intersects an honest majority that does
+    remember); the auditor records nothing because forgetting is not
+    equivocating.
+    """
+
+    def __init__(self, genesis_justify: Justify, after: float) -> None:
+        self.genesis_justify = genesis_justify
+        self.after = after
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if isinstance(payload, ViewChangeMsg) and now >= self.after:
+            send(
+                dst,
+                ViewChangeMsg(
+                    view=payload.view,
+                    last_voted=None,
+                    justify=self.genesis_justify,
+                    share=payload.share,
+                ),
+            )
+        else:
+            send(dst, payload)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+@dataclass(frozen=True)
+class BehaviorKind:
+    """A registered behaviour: name, one-line summary, strategy factory."""
+
+    name: str
+    summary: str
+    build: Callable[[Any, int, Any, Params], Strategy] = field(compare=False)
+
+
+def _genesis_justify() -> Justify:
+    return Justify(genesis_qc(genesis_block()))
+
+
+def _build_silent_after(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return SilentAfter(after=float(p.get("after", 2.0)))
+
+
+def _build_withhold(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return VoteWithholder()
+
+
+def _build_delay(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return Delayer(
+        cluster,
+        delay=float(p.get("delay", 0.1)),
+        jitter=float(p.get("jitter", 0.0)),
+        rng=rng,
+    )
+
+
+def _build_equivocate(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return Equivocator(cluster.experiment.cluster.num_replicas)
+
+
+def _build_qc_hide(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return QCHider(_genesis_justify())
+
+
+def _build_amnesia(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return AmnesiacVC(_genesis_justify(), after=float(p.get("after", 2.0)))
+
+
+def _build_reply_forge(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return ReplyForger()
+
+
+def _build_gray(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return GrayFailure(
+        cluster,
+        rng,
+        drop_p=float(p.get("drop_p", 0.1)),
+        slow_p=float(p.get("slow_p", 0.3)),
+        slow_delay=float(p.get("slow_delay", 0.2)),
+    )
+
+
+def _build_silence_windows(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    windows = tuple(
+        (float(start), float(end)) for start, end in p.get("windows", ((2.0, 4.0),))
+    )
+    return SilenceWindows(windows)
+
+
+def _build_vc_lag(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return VCDelayer(cluster, delay=float(p.get("lag", 0.25)))
+
+
+def _build_forking_leader(cluster: Any, replica: int, rng: Any, p: Params) -> Strategy:
+    return ForkingLeader(
+        cluster,
+        replica,
+        trigger_height=int(p.get("trigger_height", 3)),
+        locked=p.get("locked"),
+        hidden=p.get("hidden"),
+    )
+
+
+BEHAVIOR_KINDS: dict[str, BehaviorKind] = {
+    kind.name: kind
+    for kind in (
+        BehaviorKind(
+            "silent-after",
+            "stop sending anything after a set time (undetectable crash)",
+            _build_silent_after,
+        ),
+        BehaviorKind(
+            "withhold-votes",
+            "suppress all votes (liveness attack on the quorum)",
+            _build_withhold,
+        ),
+        BehaviorKind(
+            "delay",
+            "hold every outbound message for a fixed time plus seeded jitter",
+            _build_delay,
+        ),
+        BehaviorKind(
+            "equivocate",
+            "as leader, send conflicting sibling blocks to half the cluster",
+            _build_equivocate,
+        ),
+        BehaviorKind(
+            "qc-hide",
+            "claim only the genesis QC in every view change",
+            _build_qc_hide,
+        ),
+        BehaviorKind(
+            "amnesia",
+            "report honestly until a cutoff, then forget the lock (stale backup)",
+            _build_amnesia,
+        ),
+        BehaviorKind(
+            "reply-forge",
+            "corrupt the result digest of every client reply",
+            _build_reply_forge,
+        ),
+        BehaviorKind(
+            "gray",
+            "probabilistically drop or slow messages (limping node)",
+            _build_gray,
+        ),
+        BehaviorKind(
+            "silence-windows",
+            "go dark over scheduled intervals (crash-recover churn)",
+            _build_silence_windows,
+        ),
+        BehaviorKind(
+            "vc-lag",
+            "delay only view-change messages (snapshot steering)",
+            _build_vc_lag,
+        ),
+        BehaviorKind(
+            "forking-leader",
+            "two-phase forking attack: hidden commit, then stale-QC replay",
+            _build_forking_leader,
+        ),
+    )
+}
+
+
+def behavior_kinds() -> dict[str, str]:
+    """Name -> one-line summary for every registered behaviour."""
+    return {name: kind.summary for name, kind in sorted(BEHAVIOR_KINDS.items())}
+
+
+# ---------------------------------------------------------------------------
+# Installation
+
+
+def apply_adversary(
+    cluster: Any, config: AdversaryConfig, seed: int | None = None
+) -> None:
+    """Install ``config`` onto a built (not yet started) DES cluster.
+
+    Behaviours targeting the same replica compose in declaration order
+    (the first spec sees the raw wire).  Each randomised behaviour gets
+    its own :func:`~repro.harness.failures.strategy_rng` stream keyed on
+    ``(seed + seed_salt, kind, replica)``; ``seed`` defaults to the
+    experiment's seed so a run is fully determined by its config.
+    """
+    from repro.harness.failures import make_byzantine
+
+    if seed is None:
+        seed = cluster.experiment.seed
+    seed = seed + config.seed_salt
+
+    num_replicas = cluster.experiment.cluster.num_replicas
+    per_replica: dict[int, list[Strategy]] = {}
+    for spec in config.behaviors:
+        kind = BEHAVIOR_KINDS.get(spec.kind)
+        if kind is None:
+            known = ", ".join(sorted(BEHAVIOR_KINDS))
+            raise ValueError(f"unknown behavior kind {spec.kind!r} (known: {known})")
+        if not 0 <= spec.replica < num_replicas:
+            raise ValueError(
+                f"behavior {spec.kind!r} targets replica {spec.replica}, "
+                f"but only voting replicas 0..{num_replicas - 1} can misbehave"
+            )
+        rng = strategy_rng(seed, spec.kind, spec.replica)
+        strategy = kind.build(cluster, spec.replica, rng, spec.params_dict)
+        per_replica.setdefault(spec.replica, []).append(strategy)
+
+    for replica_id, strategies in per_replica.items():
+        if len(strategies) == 1:
+            make_byzantine(cluster, replica_id, strategies[0])
+        else:
+            make_byzantine(cluster, replica_id, ComposedStrategy(strategies))
+
+    for window in config.partitions:
+        group = [r for r in window.group if 0 <= r < num_replicas]
+        rest = [r for r in range(num_replicas) if r not in group]
+
+        def cut(group: Iterable[int] = tuple(group), rest: Iterable[int] = tuple(rest)) -> None:
+            cluster.network.partition(list(group), list(rest))
+
+        cluster.sim.schedule_at(window.start, cut)
+        cluster.sim.schedule_at(window.start + window.duration, cluster.network.heal_all)
+
+    for crash in config.crashes:
+        cluster.crash_at(crash.replica, crash.when)

@@ -1,0 +1,167 @@
+"""Named adversary scenarios.
+
+Each scenario bundles an :class:`~repro.adversary.behaviors.AdversaryConfig`
+with its *expectation*: which protocols (if any) it should break, and
+whether the safety checker may also hold the run to a progress
+obligation.  Scenarios are what campaigns iterate over and what
+``Scenario(adversary="...")`` accepts by name.
+
+Expectations are deliberately conservative.  With at most ``f``
+misbehaving replicas no quorum-intersecting protocol can be forced into
+conflicting commits, so the scenarios' negative controls assert *zero
+violations* on marlin / hotstuff / fast-hotstuff.  The positive control
+is the ``forking-attack`` scenario against the deliberately unsafe
+``insecure`` two-phase protocol, whose missing unlock rule the attack
+converts into a permanent wedge — caught by the checker's progress rule
+(and by the locked replica's refusal evidence), not by luck.
+
+Progress is only *checked* where a scenario declares it
+(``check_progress=True``): gray failures, churn and partitions can
+legitimately slow a correct protocol below any fixed threshold, and a
+checker that cried wolf there would drown the real signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.behaviors import (
+    AdversaryConfig,
+    BehaviorSpec,
+    CrashEvent,
+    PartitionWindow,
+)
+
+
+@dataclass(frozen=True)
+class AdversaryScenario:
+    """A named adversary plus the verdict expectation it is run under.
+
+    ``expect_violation`` lists the protocols this scenario is *supposed*
+    to break; on every other protocol a reported violation is a false
+    positive and fails the campaign.  ``min_replicas`` guards scenarios
+    whose role assignments assume a minimum cluster size.
+    """
+
+    name: str
+    summary: str
+    adversary: AdversaryConfig
+    expect_violation: tuple[str, ...] = ()
+    check_progress: bool = False
+    min_replicas: int = 4
+
+    def expects_violation(self, protocol: str) -> bool:
+        return protocol in self.expect_violation
+
+
+def _spec(kind: str, replica: int, **params: object) -> BehaviorSpec:
+    return BehaviorSpec.make(kind, replica, **params)
+
+
+ADVERSARY_SCENARIOS: dict[str, AdversaryScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        AdversaryScenario(
+            name="forking-attack",
+            summary=(
+                "Fast-HotStuff-style forking attack: hidden commit at the "
+                "trigger height, then stale-QC replay with a lagged victim "
+                "view change — wedges two-phase protocols without an unlock "
+                "rule"
+            ),
+            adversary=AdversaryConfig(
+                behaviors=(
+                    _spec("forking-leader", 0, trigger_height=3),
+                    _spec("vc-lag", 3, lag=0.25),
+                ),
+            ),
+            expect_violation=("insecure",),
+            check_progress=True,
+        ),
+        AdversaryScenario(
+            name="equivocating-leader",
+            summary=(
+                "the view-1 leader sends conflicting sibling blocks to the "
+                "two halves of the cluster at every height"
+            ),
+            adversary=AdversaryConfig(behaviors=(_spec("equivocate", 0),)),
+        ),
+        AdversaryScenario(
+            name="equivocation-under-partition",
+            summary=(
+                "an equivocating leader combined with a transient partition "
+                "that isolates one honest replica mid-run"
+            ),
+            adversary=AdversaryConfig(
+                behaviors=(_spec("equivocate", 0),),
+                partitions=(PartitionWindow(start=2.0, duration=1.5, group=(2,)),),
+            ),
+        ),
+        AdversaryScenario(
+            name="gray-failure",
+            summary=(
+                "one replica limps: seeded probabilistic drops and delays "
+                "on every outbound message"
+            ),
+            adversary=AdversaryConfig(
+                behaviors=(
+                    _spec("gray", 1, drop_p=0.15, slow_p=0.35, slow_delay=0.3),
+                ),
+            ),
+        ),
+        AdversaryScenario(
+            name="crash-churn",
+            summary=(
+                "crash-recover churn: one replica goes dark over two "
+                "windows, then the leader crashes for good late in the run"
+            ),
+            adversary=AdversaryConfig(
+                behaviors=(
+                    _spec("silence-windows", 2, windows=((2.0, 3.0), (5.0, 6.0))),
+                ),
+                crashes=(CrashEvent(replica=0, when=7.0),),
+            ),
+        ),
+        AdversaryScenario(
+            name="qc-suppression",
+            summary=(
+                "targeted QC suppression through a forced view change: one "
+                "replica withholds votes and claims only the genesis QC"
+            ),
+            adversary=AdversaryConfig(
+                behaviors=(
+                    _spec("withhold-votes", 3),
+                    _spec("qc-hide", 3),
+                ),
+                # Isolate the leader briefly so view changes actually
+                # consume the suppressed replica's view-change claims.
+                partitions=(PartitionWindow(start=3.0, duration=1.0, group=(0,)),),
+            ),
+        ),
+        AdversaryScenario(
+            name="amnesia",
+            summary=(
+                "an amnesiac replica: honest until mid-run, then restored "
+                "from a stale backup that remembers no lock — exercised by "
+                "a forced view change"
+            ),
+            adversary=AdversaryConfig(
+                behaviors=(_spec("amnesia", 2, after=3.0),),
+                partitions=(PartitionWindow(start=4.0, duration=1.0, group=(0,)),),
+            ),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> AdversaryScenario:
+    scenario = ADVERSARY_SCENARIOS.get(name)
+    if scenario is None:
+        known = ", ".join(sorted(ADVERSARY_SCENARIOS))
+        raise ValueError(f"unknown adversary scenario {name!r} (known: {known})")
+    return scenario
+
+
+def list_scenarios() -> dict[str, str]:
+    """Name -> one-line summary for every registered scenario."""
+    return {name: s.summary for name, s in sorted(ADVERSARY_SCENARIOS.items())}

@@ -25,6 +25,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
+from repro.adversary import (
+    ADVERSARY_SCENARIOS,
+    get_scenario as _get_adversary_scenario,
+)
+from repro.adversary import (
+    AdversaryConfig,
+    AdversaryScenario,
+    BehaviorSpec,
+    CampaignResult,
+    CellResult,
+    SafetyChecker,
+    SafetyReport,
+    apply_adversary,
+    behavior_kinds,
+    run_campaign,
+)
 from repro.client import ClientConfig, ClientSession, ReplyCertificate
 from repro.client.router import ShardRouter
 from repro.common.config import (
@@ -72,7 +88,13 @@ from repro.runtime.node import Node
 from repro.shard import ShardConfig, ShardedCluster, ShardedLocalCluster
 
 __all__ = [
+    "ADVERSARY_SCENARIOS",
+    "AdversaryConfig",
+    "AdversaryScenario",
     "AuditReport",
+    "BehaviorSpec",
+    "CampaignResult",
+    "CellResult",
     "ClientConfig",
     "ClientSession",
     "ClosedLoopClients",
@@ -96,6 +118,8 @@ __all__ = [
     "ResultCache",
     "RunObservability",
     "RunResult",
+    "SafetyChecker",
+    "SafetyReport",
     "Scenario",
     "ShardConfig",
     "ShardRouter",
@@ -106,7 +130,9 @@ __all__ = [
     "SweepExecutor",
     "ViewChangeCost",
     "ViewChangeResult",
+    "apply_adversary",
     "audited_run",
+    "behavior_kinds",
     "code_fingerprint",
     "complexity_sweep",
     "default_client_sweep",
@@ -119,6 +145,7 @@ __all__ = [
     "read_blackbox",
     "restart_replica",
     "rotating_leader_throughput",
+    "run_campaign",
     "throughput_curve",
     "traced_run",
     "trigger_state_transfer",
@@ -192,6 +219,13 @@ class Scenario:
     #: :class:`repro.des.ParallelShardedCluster`, with results
     #: byte-identical to ``des_jobs=1``.  Requires ``shards >= 2``.
     des_jobs: int = 1
+    #: Byzantine adversary injected into the run: the name of a
+    #: registered scenario from :mod:`repro.adversary.scenarios` (e.g.
+    #: ``"forking-attack"``) or an explicit
+    #: :class:`~repro.adversary.behaviors.AdversaryConfig`.  Requires the
+    #: single-group topology.  ``None`` (the default) is the
+    #: failure-free run every benchmark number comes from.
+    adversary: "str | AdversaryConfig | None" = field(default=None)
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -241,6 +275,22 @@ class Scenario:
                 f"Scenario.f ({self.f}) contradicts Scenario.cluster.f "
                 f"({self.cluster.f}); the explicit cluster is authoritative"
             )
+        if self.adversary is not None:
+            if isinstance(self.adversary, str):
+                try:
+                    _get_adversary_scenario(self.adversary)
+                except ValueError as exc:
+                    raise ConfigError(f"Scenario.adversary: {exc}") from exc
+            elif not isinstance(self.adversary, AdversaryConfig):
+                raise ConfigError(
+                    f"Scenario.adversary must be a scenario name or an "
+                    f"AdversaryConfig, got {type(self.adversary).__name__}"
+                )
+            if self.resolved_shard().shards > 1:
+                raise ConfigError(
+                    "Scenario.adversary requires the single-group topology "
+                    "(shards == 1)"
+                )
 
     def with_overrides(self, **overrides) -> "Scenario":
         """A copy with the given fields replaced (and re-validated).
@@ -282,6 +332,10 @@ def _topology_kwargs(scenario: Scenario) -> dict:
         # des_jobs=4 point never aliases a des_jobs=1 one even though
         # the engines are proven byte-identical.
         extra["des_jobs"] = scenario.des_jobs
+    if scenario.adversary is not None:
+        # Also part of sweep-cache keys: an adversarial point must never
+        # alias its failure-free twin.
+        extra["adversary"] = scenario.adversary
     return extra
 
 

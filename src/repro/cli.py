@@ -356,6 +356,50 @@ def _cmd_audit(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_adversary(args: argparse.Namespace) -> None:
+    """``repro adversary``: scenario × protocol × seed campaign grid.
+
+    Exit 0 iff every cell lands where its scenario expects it: violations
+    detected exactly where declared, zero false positives elsewhere.
+    ``--list`` enumerates the scenario and behaviour registries instead.
+    """
+    from repro.adversary import behavior_kinds, list_scenarios, run_campaign
+
+    if args.list:
+        print("scenarios:")
+        for name, summary in list_scenarios().items():
+            print(f"  {name:30} {summary}")
+        print()
+        print("behaviors:")
+        for name, summary in behavior_kinds().items():
+            print(f"  {name:30} {summary}")
+        return
+
+    result = run_campaign(
+        scenarios=args.scenario or None,
+        protocols=tuple(args.protocols),
+        seeds=tuple(args.seeds),
+        n=args.n,
+        sim_time=args.sim_time,
+        crypto=args.crypto,
+        learners=args.learners,
+        jobs=args.jobs,
+        use_cache=args.cache,
+    )
+    print(result.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(
+                result.to_dict(include_reports=args.reports),
+                fh, indent=2, sort_keys=True,
+            )
+        log.info("wrote %s", args.json)
+    if not result.ok:
+        raise SystemExit(1)
+
+
 def _cmd_shard_parallel(args: argparse.Namespace) -> None:
     """``repro shard --jobs N``: same run, groups across N processes.
 
@@ -790,6 +834,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default=None, help="write the machine-readable report here")
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "adversary",
+        help="Byzantine campaign: scenario x protocol x seed verdict matrix",
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and behaviors, then exit",
+    )
+    p.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--protocols", nargs="+",
+        default=["marlin", "hotstuff", "fast-hotstuff", "insecure"],
+        help="protocols to grid over",
+    )
+    p.add_argument(
+        "--seeds", nargs="+", type=int, default=[1, 2], help="seeds to grid over"
+    )
+    p.add_argument("--n", type=int, default=4, help="voting replicas per cell")
+    p.add_argument("--sim-time", type=float, default=12.0)
+    p.add_argument(
+        "--crypto", choices=("null", "threshold", "multisig"), default="null"
+    )
+    p.add_argument(
+        "--learners", type=int, default=0,
+        help="non-voting learner replicas appended to each cell's cluster",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes for cells")
+    p.add_argument(
+        "--cache", action="store_true",
+        help="reuse / populate the shared result cache for cells",
+    )
+    p.add_argument("--json", default=None, help="write the verdict matrix here")
+    p.add_argument(
+        "--reports", action="store_true",
+        help="embed each cell's full checker report in the JSON artifact",
+    )
+    p.set_defaults(func=_cmd_adversary)
 
     p = sub.add_parser(
         "shard", help="G consensus groups over one simulator, key-routed clients"

@@ -404,6 +404,8 @@ def attach_client_services(
         replicas = [node.replica for node in cluster.nodes]
     services = []
     for replica in replicas:
+        if not getattr(replica, "is_voter", True):
+            continue  # learners hold no pool/crypto and never answer writes
         service = ClientService(
             replica,
             config,

@@ -17,8 +17,46 @@ from repro.common.types import ReplicaId, max_faulty, quorum_size, validate_bft_
 
 
 @dataclass(frozen=True)
+class QuorumConfig:
+    """Flexible quorum knobs layered on a :class:`ClusterConfig`.
+
+    ``vote_quorum`` overrides the ``n - f`` threshold used to combine
+    votes into QCs.  Values above ``n - f`` trade liveness-under-faults
+    for a larger intersection margin; values below ``n - f`` sacrifice
+    the paper's safety guarantees and exist so the adversary campaigns
+    can study exactly that trade-off.  Bounds enforced: ``f + 1 <=
+    vote_quorum <= n``.
+
+    ``learners`` adds that many non-voting replicas *after* the voting
+    membership (ids ``n .. n + learners - 1``).  Learners never vote,
+    never lead, and commit a block only once ``learner_commit_quorum``
+    distinct voting replicas have echoed a valid commit certificate for
+    it (default ``f + 1`` — at least one correct witness).
+    """
+
+    vote_quorum: int | None = None
+    learners: int = 0
+    learner_commit_quorum: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.vote_quorum is not None and self.vote_quorum < 1:
+            raise ConfigError(f"vote_quorum must be >= 1, got {self.vote_quorum}")
+        if self.learners < 0:
+            raise ConfigError(f"learners cannot be negative, got {self.learners}")
+        if self.learner_commit_quorum is not None and self.learner_commit_quorum < 1:
+            raise ConfigError(
+                f"learner_commit_quorum must be >= 1, got {self.learner_commit_quorum}"
+            )
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
-    """Static membership and protocol constants for one BFT cluster."""
+    """Static membership and protocol constants for one BFT cluster.
+
+    ``num_replicas`` counts the *voting* membership; learner replicas
+    (``quorums.learners``) are appended after it and take no part in
+    voting or leader rotation.
+    """
 
     num_replicas: int
     batch_size: int = 400
@@ -26,6 +64,7 @@ class ClusterConfig:
     base_timeout: float = 1.0
     timeout_multiplier: float = 1.5
     max_timeout: float = 60.0
+    quorums: QuorumConfig | None = None
 
     def __post_init__(self) -> None:
         validate_bft_size(self.num_replicas, self.f)
@@ -39,6 +78,18 @@ class ClusterConfig:
             raise ConfigError("base_timeout must be positive")
         if self.timeout_multiplier < 1.0:
             raise ConfigError("timeout_multiplier must be >= 1.0")
+        if self.quorums is not None and self.quorums.vote_quorum is not None:
+            vq = self.quorums.vote_quorum
+            if not self.f + 1 <= vq <= self.num_replicas:
+                raise ConfigError(
+                    f"vote_quorum must be in [f + 1, n] = "
+                    f"[{self.f + 1}, {self.num_replicas}], got {vq}"
+                )
+        if self.learner_commit_quorum > self.num_replicas:
+            raise ConfigError(
+                f"learner_commit_quorum {self.learner_commit_quorum} exceeds the "
+                f"{self.num_replicas} voting replicas that could ever echo a commit"
+            )
 
     @classmethod
     def for_f(cls, f: int, **kwargs: object) -> "ClusterConfig":
@@ -54,12 +105,35 @@ class ClusterConfig:
 
     @property
     def quorum(self) -> int:
-        """QC quorum size ``n - f``."""
+        """QC quorum size: ``n - f`` unless ``quorums.vote_quorum`` overrides."""
+        if self.quorums is not None and self.quorums.vote_quorum is not None:
+            return self.quorums.vote_quorum
         return quorum_size(self.num_replicas)
+
+    @property
+    def learners(self) -> int:
+        """Number of non-voting learner replicas appended after the voters."""
+        return self.quorums.learners if self.quorums is not None else 0
+
+    @property
+    def learner_commit_quorum(self) -> int:
+        """Distinct commit echoes a learner needs before committing a block."""
+        if self.quorums is not None and self.quorums.learner_commit_quorum is not None:
+            return self.quorums.learner_commit_quorum
+        return self.f + 1
+
+    @property
+    def total_replicas(self) -> int:
+        """Voting replicas plus learners — the full process count."""
+        return self.num_replicas + self.learners
 
     @property
     def replica_ids(self) -> list[ReplicaId]:
         return [ReplicaId(i) for i in range(self.num_replicas)]
+
+    @property
+    def learner_ids(self) -> list[ReplicaId]:
+        return [ReplicaId(i) for i in range(self.num_replicas, self.total_replicas)]
 
     def leader_of(self, view: int) -> ReplicaId:
         """Round-robin leader schedule, the standard HotStuff rotation."""

@@ -389,6 +389,8 @@ class NullCryptoService(CryptoService):
     def verify_vote(self, signer: int, phase: Phase, view: int, block: BlockSummary, share: Any) -> None:
         if not isinstance(share, NullShare):
             raise InvalidVote("expected a NullShare")
+        if not 0 <= signer < self.num_replicas:
+            raise InvalidVote(f"signer {signer} is not a voting replica")
         if share.signer != signer or share.tag != self._tag(phase, view, block):
             raise InvalidVote("null share does not match vote")
 
@@ -400,6 +402,9 @@ class NullCryptoService(CryptoService):
             raise CryptoError("expected NullQuorumToken")
         if len(qc.signature.signers) < self.quorum:
             raise CryptoError("token has fewer than quorum signers")
+        rogue = [s for s in qc.signature.signers if not 0 <= s < self.num_replicas]
+        if rogue:
+            raise CryptoError(f"token signed by non-members {sorted(rogue)}")
         if qc.signature.tag != self._tag(qc.phase, qc.view, qc.block):
             raise CryptoError("token tag does not match QC contents")
 

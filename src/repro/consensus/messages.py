@@ -245,6 +245,30 @@ class SyncResponse:
 
 
 @dataclass(frozen=True)
+class CommitEcho:
+    """Voter -> learner: "I committed this block".
+
+    Learner replicas take no part in voting, so they learn commits from
+    these echoes instead of DECIDE broadcasts: a learner applies a block
+    only once ``learner_commit_quorum`` distinct voters have echoed it
+    (default ``f + 1`` — at least one correct witness).  The full block
+    travels because learners are outside the proposal fan-out.
+    ``parent`` is the resolved parent digest for virtual blocks (whose
+    ``parent_link`` is None until resolution).
+    """
+
+    block: Block
+    parent: bytes | None = None
+
+    @cached_property
+    def wire_size(self) -> int:
+        total = 8 + self.block.wire_size
+        if self.parent is not None:
+            total += 32
+        return total
+
+
+@dataclass(frozen=True)
 class StateTransferRequest:
     """Ask a peer for a checkpoint snapshot (runtime-level recovery).
 

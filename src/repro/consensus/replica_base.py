@@ -29,6 +29,7 @@ from repro.consensus.ledger import Ledger
 from repro.consensus.messages import (
     ClientRequest,
     ClientRequestBatch,
+    CommitEcho,
     LeaseAck,
     LeaseProbe,
     ReadRequest,
@@ -49,6 +50,9 @@ TIMER_VIEW = "view-timer"
 
 class ReplicaBase(ABC):
     """Common state machine chassis for HotStuff-family replicas."""
+
+    #: Voting member of the consensus group (learners override to False).
+    is_voter = True
 
     def __init__(
         self,
@@ -361,6 +365,10 @@ class ReplicaBase(ABC):
                 )
         for listener in self.commit_listeners:
             listener(block, now)
+        if self.config.learners:
+            echo = CommitEcho(block=block, parent=self.tree.parent_digest(block))
+            for learner_id in self.config.learner_ids:
+                self.ctx.send(learner_id, echo)
 
     # ---------------------------------------------------------------- sync
 

@@ -34,6 +34,7 @@ from repro.consensus.crypto_service import (
 from repro.consensus.chained import ChainedHotStuffReplica, ChainedMarlinReplica
 from repro.consensus.fasthotstuff import FastHotStuffReplica
 from repro.consensus.hotstuff.replica import HotStuffReplica
+from repro.consensus.learner import LearnerReplica
 from repro.consensus.marlin.replica import MarlinReplica
 from repro.consensus.pipeline import PipelineConfig
 from repro.consensus.replica_base import ReplicaBase
@@ -172,27 +173,30 @@ class DESCluster:
             )
         else:
             self.costs = ZeroCostModel()
-        self.auditor = CommitAuditor(cluster.num_replicas)
+        self.auditor = CommitAuditor(cluster.total_replicas)
 
         self.processes: list[Process] = []
-        self.replicas: list[ReplicaBase] = []
+        self.replicas: list[Any] = []
         replica_cls = PROTOCOLS[protocol]
-        for replica_id in range(cluster.num_replicas):
+        for replica_id in range(cluster.total_replicas):
             process = Process(self.sim, f"replica-{replica_id}")
-            ctx = DESContext(process, self.network, replica_id, cluster.num_replicas)
-            kwargs: dict[str, Any] = dict(
-                replica_id=replica_id,
-                config=cluster,
-                ctx=ctx,
-                crypto=self.crypto,
-                costs=self.costs,
-                rotation_interval=rotation_interval,
-                forward_requests=forward_requests,
-                pipeline=self.pipeline,
-            )
-            if issubclass(replica_cls, MarlinReplica):
-                kwargs["force_unhappy"] = force_unhappy
-            replica = replica_cls(**kwargs)
+            ctx = DESContext(process, self.network, replica_id, cluster.total_replicas)
+            if replica_id < cluster.num_replicas:
+                kwargs: dict[str, Any] = dict(
+                    replica_id=replica_id,
+                    config=cluster,
+                    ctx=ctx,
+                    crypto=self.crypto,
+                    costs=self.costs,
+                    rotation_interval=rotation_interval,
+                    forward_requests=forward_requests,
+                    pipeline=self.pipeline,
+                )
+                if issubclass(replica_cls, MarlinReplica):
+                    kwargs["force_unhappy"] = force_unhappy
+                replica: Any = replica_cls(**kwargs)
+            else:
+                replica = LearnerReplica(replica_id, cluster, ctx, costs=self.costs)
             if observability is not None:
                 replica.attach_observer(
                     observability.replica_obs(replica_id, replica.protocol_name)

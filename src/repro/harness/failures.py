@@ -22,7 +22,18 @@ Strategies:
   the genesis QC, hiding this replica's knowledge (Fig. 2's ``p4``);
 * :class:`ReplyForger` — lie to clients: corrupt the result and result
   digest of every outbound client reply (the attack reply certificates
-  exist to defeat — f forgers can never assemble f+1 matching replies).
+  exist to defeat — f forgers can never assemble f+1 matching replies);
+* :class:`GrayFailure` — probabilistically drop or delay messages (the
+  "limping but not dead" node of gray-failure studies);
+* :class:`SilenceWindows` — go dark over scheduled intervals, modelling
+  crash–recover churn without the permanence of ``crash_at``;
+* :class:`VCDelayer` — delay only VIEW-CHANGE messages (the targeted lag
+  the forking attack uses to control whose snapshot a new leader sees);
+* :class:`ComposedStrategy` — chain several strategies on one replica.
+
+Randomised strategies draw from **per-strategy seeded streams** via
+:func:`strategy_rng`, so one strategy's draws never perturb another's and
+a whole adversarial run replays bit-identically from its seed.
 
 Also here: :func:`fuzz_schedule`, a seeded random-adversity runner used
 by the fuzz tests — random crashes, partitions and heals over a run, with
@@ -33,6 +44,7 @@ configuration permits it.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -41,6 +53,19 @@ from repro.consensus.messages import PhaseMsg, ViewChangeMsg, VoteMsg
 from repro.consensus.qc import Phase
 
 Send = Callable[[int, Any], None]
+
+
+def strategy_rng(seed: int, kind: str, replica: int) -> random.Random:
+    """A private RNG stream for one strategy instance.
+
+    The stream is keyed on ``(seed, kind, replica)`` through a CRC so
+    that (a) two strategies in the same run never share a stream — one
+    drawing more numbers cannot shift what the other sees — and (b) the
+    same strategy replays identically across runs, processes and worker
+    fan-outs.  This is what makes adversarial campaigns cacheable and
+    byte-comparable across ``--jobs`` settings.
+    """
+    return random.Random(zlib.crc32(f"adv:{seed}:{kind}:{replica}".encode()))
 
 
 class Strategy:
@@ -66,12 +91,31 @@ class VoteWithholder(Strategy):
 
 
 class Delayer(Strategy):
-    def __init__(self, cluster: "Any", delay: float) -> None:
+    """Hold every outbound message for ``delay`` (plus optional jitter).
+
+    With ``jitter > 0`` each message is held an extra ``U(0, jitter)``
+    drawn from ``rng`` — pass a :func:`strategy_rng` stream so the noise
+    is private to this strategy and replays deterministically.  The
+    default (``jitter=0``) keeps the historical fixed-delay behaviour.
+    """
+
+    def __init__(
+        self,
+        cluster: "Any",
+        delay: float,
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
         self.cluster = cluster
         self.delay = delay
+        self.jitter = jitter
+        self.rng = rng
 
     def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
-        self.cluster.sim.schedule(self.delay, lambda: send(dst, payload))
+        delay = self.delay
+        if self.jitter > 0.0 and self.rng is not None:
+            delay += self.rng.uniform(0.0, self.jitter)
+        self.cluster.sim.schedule(delay, lambda: send(dst, payload))
 
 
 class Equivocator(Strategy):
@@ -140,6 +184,109 @@ class ReplyForger(Strategy):
             )
         else:
             send(dst, payload)
+
+
+class GrayFailure(Strategy):
+    """A limping node: drop some messages, slow others, deliver the rest.
+
+    Gray failures (partial, probabilistic degradation) are the faults
+    failure detectors handle worst: the node is never *down*, so timeouts
+    fire erratically rather than cleanly.  ``drop_p`` and ``slow_p`` are
+    evaluated per outbound message from this strategy's private ``rng``
+    stream; a slowed message is held for ``U(0, slow_delay)``.
+    """
+
+    def __init__(
+        self,
+        cluster: "Any",
+        rng: random.Random,
+        drop_p: float = 0.1,
+        slow_p: float = 0.3,
+        slow_delay: float = 0.2,
+    ) -> None:
+        self.cluster = cluster
+        self.rng = rng
+        self.drop_p = drop_p
+        self.slow_p = slow_p
+        self.slow_delay = slow_delay
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        roll = self.rng.random()
+        if roll < self.drop_p:
+            return
+        if roll < self.drop_p + self.slow_p:
+            delay = self.rng.uniform(0.0, self.slow_delay)
+            self.cluster.sim.schedule(delay, lambda: send(dst, payload))
+            return
+        send(dst, payload)
+
+
+class SilenceWindows(Strategy):
+    """Go dark during scheduled intervals (crash–recover churn).
+
+    ``crash_at`` is permanent; real churn is not.  A replica under this
+    strategy keeps *running* (its timers fire, its state advances) but
+    nothing it sends during a window reaches the wire — exactly what a
+    node rebooting or wedged behind a full NIC queue looks like to the
+    rest of the cluster.  Windows are ``(start, end)`` pairs in sim time.
+    """
+
+    def __init__(self, windows: tuple[tuple[float, float], ...]) -> None:
+        self.windows = tuple(windows)
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        for start, end in self.windows:
+            if start <= now < end:
+                return
+        send(dst, payload)
+
+
+class VCDelayer(Strategy):
+    """Delay only VIEW-CHANGE messages; everything else flows normally.
+
+    The forking attack's accomplice: lagging one replica's view-change
+    report controls *whose* snapshot a new leader assembles its quorum
+    from, without disturbing the replica's votes or proposals.
+    """
+
+    def __init__(self, cluster: "Any", delay: float) -> None:
+        self.cluster = cluster
+        self.delay = delay
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        if isinstance(payload, ViewChangeMsg):
+            self.cluster.sim.schedule(self.delay, lambda: send(dst, payload))
+        else:
+            send(dst, payload)
+
+
+class ComposedStrategy(Strategy):
+    """Chain strategies: the first sees the raw send, wrapped in order.
+
+    ``ComposedStrategy([a, b])`` runs ``a`` first; whatever ``a`` decides
+    to send is then subject to ``b``.  This is how one replica plays
+    several roles at once (e.g. withhold votes *and* hide its QC).
+    """
+
+    def __init__(self, strategies: list[Strategy]) -> None:
+        self.strategies = list(strategies)
+
+    def outbound(self, now: float, dst: int, payload: Any, send: Send) -> None:
+        chain = send
+        for strategy in reversed(self.strategies[1:]):
+            chain = self._wrap(now, strategy, chain)
+        first = self.strategies[0] if self.strategies else None
+        if first is None:
+            send(dst, payload)
+        else:
+            first.outbound(now, dst, payload, chain)
+
+    @staticmethod
+    def _wrap(now: float, strategy: Strategy, send: Send) -> Send:
+        def chained(dst: int, payload: Any) -> None:
+            strategy.outbound(now, dst, payload, send)
+
+        return chained
 
 
 def make_byzantine(cluster: "Any", replica_id: int, strategy: Strategy) -> None:

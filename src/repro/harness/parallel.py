@@ -149,14 +149,27 @@ class ResultCache:
 
 
 def _eval_point(task: dict[str, Any]) -> dict[str, Any]:
-    """Worker entry point: run one load point, return plain data.
+    """Worker entry point: run one task, return plain data.
 
     Top-level function so the ``spawn`` context can pickle it by
     reference; each worker imports the harness fresh and builds its own
-    simulator from the task's seed.  The returned dict carries the
-    :class:`RunResult` fields plus a SHA-256 of the run's commit trace,
-    which the byte-identity tests compare across serial/parallel runs.
+    simulator from the task's seed.  Tasks are load points unless their
+    ``kind`` says otherwise — adversary campaign cells dispatch to
+    :func:`repro.adversary.campaign._eval_cell` (the distinct ``kind``
+    value keeps their cache keys disjoint from load points').  Load-point
+    results carry the :class:`RunResult` fields plus a SHA-256 of the
+    run's commit trace, which the byte-identity tests compare across
+    serial/parallel runs.
     """
+    task = dict(task)
+    kind = task.pop("kind", "load_point")
+    if kind == "adversary_cell":
+        from repro.adversary.campaign import _eval_cell
+
+        return _eval_cell(task)
+    if kind != "load_point":
+        raise ConfigError(f"unknown sweep task kind {kind!r}")
+
     from repro.harness.scenarios import _load_point_ex
 
     result, cluster = _load_point_ex(**task)
@@ -215,6 +228,15 @@ class SweepExecutor:
     def run_points(self, tasks: list[dict[str, Any]]) -> list[RunResult]:
         """Evaluate load points; results in the same order as ``tasks``."""
         return [_result_from(v) for v in self._run_raw(tasks)]
+
+    def run_tasks(self, tasks: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Evaluate arbitrary-kind tasks, returning the raw worker dicts.
+
+        Each task carries a ``kind`` key (default ``load_point``); the
+        kind participates in the cache key, so differently-kinded tasks
+        never collide.  Used by the adversary campaign runner.
+        """
+        return self._run_raw(tasks)
 
     def _run_raw(self, tasks: list[dict[str, Any]]) -> list[dict[str, Any]]:
         values: list[dict[str, Any] | None] = [None] * len(tasks)

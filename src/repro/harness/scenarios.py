@@ -69,6 +69,7 @@ def _load_point(
     cluster=None,
     shard=None,
     des_jobs: int = 1,
+    adversary=None,
 ) -> RunResult:
     """One closed-loop load point for one protocol at one cluster size.
 
@@ -103,6 +104,7 @@ def _load_point(
         cluster=cluster,
         shard=shard,
         des_jobs=des_jobs,
+        adversary=adversary,
     )
     return result
 
@@ -123,6 +125,7 @@ def _load_point_ex(
     cluster=None,
     shard=None,
     des_jobs: int = 1,
+    adversary=None,
 ) -> tuple[RunResult, DESCluster]:
     """:func:`_load_point` that also returns the finished cluster.
 
@@ -134,12 +137,39 @@ def _load_point_ex(
     sharded point on the process-parallel engine
     (:mod:`repro.des.parallel`) instead — same numbers, the groups'
     simulators advance across worker processes.
+
+    ``adversary`` injects Byzantine behaviour into the run: an
+    :class:`~repro.adversary.behaviors.AdversaryConfig` or the name of a
+    registered scenario (whose config is used; its verdict expectations
+    only apply to campaigns).  Adversaries require the single-group
+    topology — a misbehaving replica inside one group of a sharded
+    topology is a different experiment with its own harness.  Note the
+    default failure-free timeouts are deliberately enormous; adversarial
+    measurements normally pass an explicit ``cluster`` config with a
+    realistic ``base_timeout`` so view changes can actually happen.
     """
     cluster_config = cluster
     if cluster_config is not None:
         experiment = ExperimentConfig(cluster=cluster_config, seed=seed)
     else:
         experiment = _experiment(f, seed=seed, base_timeout=120.0, max_timeout=240.0)
+    adversary_config = None
+    if adversary is not None:
+        if shard is not None and shard.shards > 1:
+            raise ConfigError("adversary injection requires the single-group topology")
+        from repro.adversary.behaviors import AdversaryConfig
+        from repro.adversary.scenarios import get_scenario
+
+        adversary_config = (
+            get_scenario(adversary).adversary
+            if isinstance(adversary, str)
+            else adversary
+        )
+        if not isinstance(adversary_config, AdversaryConfig):
+            raise ConfigError(
+                f"adversary must be an AdversaryConfig or scenario name, "
+                f"got {type(adversary).__name__}"
+            )
     if des_jobs > 1:
         if shard is None or shard.shards < 2:
             raise ConfigError(
@@ -185,6 +215,10 @@ def _load_point_ex(
         observability=observability,
         pipeline=pipeline,
     )
+    if adversary_config is not None:
+        from repro.adversary.behaviors import apply_adversary
+
+        apply_adversary(cluster, adversary_config, seed=seed)
     clients_pool = ClosedLoopClients(
         cluster,
         num_clients=clients,

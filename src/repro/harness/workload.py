@@ -123,7 +123,8 @@ class OpenLoopClients:
         self.token_weight = token_weight
         self.target = target
         self.tick = tick
-        self.hub_id = experiment.cluster.num_replicas
+        # The hub sits just above the replica id range (learners included).
+        self.hub_id = experiment.cluster.total_replicas
         self.f = experiment.cluster.f
 
         self.latency = LatencyRecorder(window_start=warmup)
@@ -139,8 +140,9 @@ class OpenLoopClients:
 
         cluster.network.register(self.hub_id, self._on_message)
         cluster.network.set_unshaped(self.hub_id)
-        # Reuse the closed-loop reply plumbing.
-        for replica in cluster.replicas:
+        # Reuse the closed-loop reply plumbing.  Only voting replicas
+        # answer clients — learner commits are evidence, not replies.
+        for replica in cluster.replicas[: experiment.cluster.num_replicas]:
             _attach_reply_sender(self, replica)
 
     def start(self) -> None:
@@ -268,7 +270,7 @@ class ClosedLoopClients:
         self.mode = mode
         self.num_clients = num_clients
         self.num_tokens = max(1, num_clients // token_weight)
-        self.hub_id = experiment.cluster.num_replicas
+        self.hub_id = experiment.cluster.total_replicas
         self.f = experiment.cluster.f
         # Token identities.  The default 0..T-1 keeps every existing trace
         # byte-identical; a sharded workload passes the global client ids
@@ -308,7 +310,7 @@ class ClosedLoopClients:
         else:
             cluster.network.register(self.hub_id, self._on_message)
             cluster.network.set_unshaped(self.hub_id)
-            for replica in cluster.replicas:
+            for replica in cluster.replicas[: experiment.cluster.num_replicas]:
                 _attach_reply_sender(self, replica)
 
     # ------------------------------------------------------------ plumbing
@@ -322,13 +324,13 @@ class ClosedLoopClients:
         self.services = attach_client_services(
             self.cluster, config, reply_size=self.reply_size
         )
-        num_replicas = self.cluster.experiment.cluster.num_replicas
+        total_replicas = self.cluster.experiment.cluster.total_replicas
         for token, client_id in enumerate(self.client_ids):
             # Default ids (0..T-1) predate endpoint addressing and map to
             # the legacy endpoint range; explicit (sharded) ids are already
             # globally unique endpoint ids above the replica range and are
             # used verbatim.
-            endpoint_id = client_id if self._explicit_ids else num_replicas + token
+            endpoint_id = client_id if self._explicit_ids else total_replicas + token
             endpoint = DESClientEndpoint(
                 self.cluster,
                 endpoint_id,
@@ -491,8 +493,9 @@ class ShardedClosedLoopClients:
     latency samples, so cluster-wide percentiles are computed over the
     union of samples rather than averaged per shard.
 
-    Global token ids start at ``num_replicas + 1`` so they are valid
-    endpoint ids in ``mode="real"`` and never collide with a group's hub.
+    Global token ids start at ``total_replicas + 1`` so they are valid
+    endpoint ids in ``mode="real"`` and never collide with a group's hub
+    (or with any learner replica).
     """
 
     def __init__(
@@ -516,8 +519,7 @@ class ShardedClosedLoopClients:
         self.token_weight = token_weight
         self.num_tokens = max(1, num_clients // token_weight)
         self.warmup = warmup
-        num_replicas = sharded.experiment.cluster.num_replicas
-        base = num_replicas + 1
+        base = sharded.experiment.cluster.total_replicas + 1
         self.client_ids = [base + i for i in range(self.num_tokens)]
         partition = sharded.router.partition_clients(self.client_ids)
         #: One sub-pool per group (``None`` where no client routed).

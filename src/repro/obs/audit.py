@@ -16,8 +16,10 @@ on it.  Invariants checked:
   leader; safe protocols tolerate it, the auditor still reports it);
 * **conflicting-qc** / **qc-quorum-short** / **qc-bad-signer** /
   **invalid-qc** — QC validity and quorum membership at formation time;
-* **duplicate-execution** — the same ``(client, sequence)`` operation
-  executes twice on one replica (exactly-once);
+* **duplicate-execution** — the same ``(client, sequence)`` operation is
+  committed twice on one replica (protocol severity: the ledger's
+  execution dedup makes re-proposed commits benign; true exactly-once
+  is judged by the history checker against execution counters);
 * **reply-divergence** — replicas disagree on a committed operation's
   result digest (a :class:`~repro.harness.failures.ReplyForger`).
 
@@ -336,19 +338,31 @@ class OnlineAuditor:
     # -------------------------------------------- cluster-level entry points
 
     def on_commit_block(self, replica: int, block: Any, time: float) -> None:
-        """Exactly-once execution: commit listeners feed whole blocks."""
+        """Duplicate op commits: commit listeners feed whole blocks.
+
+        Committing the same ``(client, sequence)`` key twice is *not* by
+        itself a safety violation — it happens legitimately when a view
+        change re-proposes in-flight operations and the abandoned
+        leader's block later commits anyway (e.g. Marlin's Case R2
+        recovery), and the ledger's execution-layer dedup applies each
+        key exactly once regardless.  It is flagged at protocol severity
+        as forensic signal; true exactly-once is checked end-to-end
+        against the ledger's execution counter by the adversary
+        subsystem's :class:`~repro.adversary.checker.SafetyChecker`.
+        """
         executed = self._executed.setdefault(replica, set())
         for op in block.operations:
             key = (op.client_id, op.sequence)
             if key in executed:
                 self._flag(
                     "duplicate-execution",
-                    SEV_SAFETY,
+                    SEV_PROTOCOL,
                     time,
                     (replica,),
                     block.view,
                     block.height,
-                    f"replica {replica} executed client {key[0]} seq {key[1]} twice",
+                    f"replica {replica} committed client {key[0]} seq {key[1]} "
+                    f"twice (deduplicated at execution)",
                     dedup=("duplicate-execution", replica, key),
                 )
             executed.add(key)

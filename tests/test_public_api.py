@@ -6,6 +6,7 @@ from __future__ import annotations
 import pytest
 
 import repro
+import repro.adversary
 import repro.api
 from repro.api import PipelineConfig, Scenario, load_point, traced_run
 
@@ -28,6 +29,31 @@ class TestAllIsTheContract:
         assert repro.LocalCluster is repro.api.LocalCluster
         assert repro.ShardConfig is repro.api.ShardConfig
         assert repro.ShardedCluster is repro.api.ShardedCluster
+        assert repro.AdversaryConfig is repro.api.AdversaryConfig
+        assert repro.SafetyChecker is repro.api.SafetyChecker
+        assert repro.run_campaign is repro.api.run_campaign
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ADVERSARY_SCENARIOS",
+            "AdversaryConfig",
+            "AdversaryScenario",
+            "BehaviorSpec",
+            "CampaignResult",
+            "CellResult",
+            "SafetyChecker",
+            "SafetyReport",
+            "apply_adversary",
+            "behavior_kinds",
+            "run_campaign",
+        ],
+    )
+    def test_adversary_surface_is_public(self, name):
+        # Campaign scripts must never need repro.adversary internals:
+        # the facade exports the whole subsystem surface.
+        assert name in repro.api.__all__
+        assert getattr(repro.api, name) is getattr(repro.adversary, name)
 
     @pytest.mark.parametrize(
         "name",
